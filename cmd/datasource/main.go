@@ -1,0 +1,132 @@
+// Command datasource runs one MMM datasource: it loads relations from CSV
+// files, enforces credential-based access policies, and serves the
+// delivery-phase protocols over TCP (one session per connection).
+//
+// Usage:
+//
+//	datasource -name S1 -listen :7101 \
+//	    -ca ca-pub.pem \
+//	    -relation Orders=orders.csv \
+//	    -require "Orders:role=analyst"
+//
+// CSV files use the header format "col:TYPE,col:TYPE,..." (see
+// relation.ReadCSV).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"github.com/secmediation/secmediation/internal/algebra"
+	"github.com/secmediation/secmediation/internal/credential"
+	"github.com/secmediation/secmediation/internal/keyio"
+	"github.com/secmediation/secmediation/internal/mediation"
+	"github.com/secmediation/secmediation/internal/relation"
+	"github.com/secmediation/secmediation/internal/transport"
+)
+
+// stringList collects repeatable flags.
+type stringList []string
+
+func (s *stringList) String() string { return strings.Join(*s, ",") }
+
+func (s *stringList) Set(v string) error {
+	*s = append(*s, v)
+	return nil
+}
+
+func main() {
+	name := flag.String("name", "S1", "datasource name")
+	listen := flag.String("listen", ":7101", "listen address")
+	var cas, rels, requires stringList
+	flag.Var(&cas, "ca", "trusted CA public key PEM (repeatable)")
+	flag.Var(&rels, "relation", "relation as name=path.csv (repeatable)")
+	flag.Var(&requires, "require", "policy as relation:prop=value (repeatable; multiple for one relation AND together)")
+	flag.Parse()
+
+	src, err := buildSource(*name, cas, rels, requires)
+	if err != nil {
+		log.Fatalf("datasource: %v", err)
+	}
+	l, err := transport.Listen(*listen)
+	if err != nil {
+		log.Fatalf("datasource: %v", err)
+	}
+	log.Printf("datasource %s serving %d relation(s) at %s", *name, len(src.Catalog), l.Addr())
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			log.Fatalf("datasource: accept: %v", err)
+		}
+		go func() {
+			defer conn.Close()
+			if err := src.Serve(conn); err != nil {
+				log.Printf("session: %v", err)
+			}
+		}()
+	}
+}
+
+func buildSource(name string, cas, rels, requires stringList) (*mediation.Source, error) {
+	src := &mediation.Source{
+		Name:     name,
+		Catalog:  algebra.MapCatalog{},
+		Policies: map[string]*credential.Policy{},
+	}
+	for _, path := range cas {
+		key, err := keyio.ReadPublicKeyFile(path)
+		if err != nil {
+			return nil, err
+		}
+		src.TrustedCAs = append(src.TrustedCAs, key)
+	}
+	if len(src.TrustedCAs) == 0 {
+		return nil, fmt.Errorf("at least one -ca is required")
+	}
+	for _, spec := range rels {
+		relName, path, ok := strings.Cut(spec, "=")
+		if !ok {
+			return nil, fmt.Errorf("-relation %q: want name=path.csv", spec)
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		r, err := relation.ReadCSV(relName, f)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("loading %s: %w", path, err)
+		}
+		src.Catalog[relName] = r
+		// Policy defaults to "no requirements" until -require adds some;
+		// relations without any policy entry would be unreachable.
+		if _, ok := src.Policies[relName]; !ok {
+			src.Policies[relName] = &credential.Policy{Relation: relName}
+		}
+		log.Printf("loaded %s: %s (%d tuples)", relName, r.Schema(), r.Len())
+	}
+	if len(src.Catalog) == 0 {
+		return nil, fmt.Errorf("at least one -relation is required")
+	}
+	for _, spec := range requires {
+		relName, prop, ok := strings.Cut(spec, ":")
+		if !ok {
+			return nil, fmt.Errorf("-require %q: want relation:prop=value", spec)
+		}
+		pname, pvalue, ok := strings.Cut(prop, "=")
+		if !ok {
+			return nil, fmt.Errorf("-require %q: want relation:prop=value", spec)
+		}
+		pol, ok := src.Policies[relName]
+		if !ok {
+			return nil, fmt.Errorf("-require %q: unknown relation %q", spec, relName)
+		}
+		pol.Require = append(pol.Require, credential.Requirement{
+			Property: credential.Property{Name: pname, Value: pvalue},
+		})
+	}
+	return src, nil
+}

@@ -1,0 +1,86 @@
+package main
+
+import (
+	"crypto/rand"
+	"crypto/rsa"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/secmediation/secmediation/internal/keyio"
+)
+
+func writeFixtures(t *testing.T) (dir, caPub, csv string) {
+	t.Helper()
+	dir = t.TempDir()
+	key, err := rsa.GenerateKey(rand.Reader, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	caPub = filepath.Join(dir, "ca-pub.pem")
+	if err := keyio.WritePublicKeyFile(caPub, &key.PublicKey); err != nil {
+		t.Fatal(err)
+	}
+	csv = filepath.Join(dir, "r.csv")
+	if err := os.WriteFile(csv, []byte("id:INT,name:TEXT\n1,a\n2,b\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return dir, caPub, csv
+}
+
+func TestBuildSource(t *testing.T) {
+	_, caPub, csv := writeFixtures(t)
+	src, err := buildSource("S1",
+		stringList{caPub},
+		stringList{"Orders=" + csv},
+		stringList{"Orders:role=analyst", "Orders:org=acme"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src.Name != "S1" || len(src.TrustedCAs) != 1 {
+		t.Errorf("source: %+v", src)
+	}
+	r, err := src.Catalog.Lookup("Orders")
+	if err != nil || r.Len() != 2 {
+		t.Errorf("catalog: %v %v", r, err)
+	}
+	pol := src.Policies["Orders"]
+	if pol == nil || len(pol.Require) != 2 {
+		t.Errorf("policy: %+v", pol)
+	}
+}
+
+func TestBuildSourceErrors(t *testing.T) {
+	_, caPub, csv := writeFixtures(t)
+	cases := []struct {
+		name            string
+		cas, rels, reqs stringList
+	}{
+		{"no CA", nil, stringList{"R=" + csv}, nil},
+		{"no relation", stringList{caPub}, nil, nil},
+		{"bad relation spec", stringList{caPub}, stringList{"nospec"}, nil},
+		{"missing csv", stringList{caPub}, stringList{"R=/does/not/exist.csv"}, nil},
+		{"bad require spec", stringList{caPub}, stringList{"R=" + csv}, stringList{"garbage"}},
+		{"require missing =", stringList{caPub}, stringList{"R=" + csv}, stringList{"R:noval"}},
+		{"require unknown rel", stringList{caPub}, stringList{"R=" + csv}, stringList{"X:a=b"}},
+		{"bad ca path", stringList{"/does/not/exist.pem"}, stringList{"R=" + csv}, nil},
+	}
+	for _, tc := range cases {
+		if _, err := buildSource("S", tc.cas, tc.rels, tc.reqs); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+func TestStringListFlag(t *testing.T) {
+	var s stringList
+	if err := s.Set("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Set("b"); err != nil {
+		t.Fatal(err)
+	}
+	if s.String() != "a,b" || len(s) != 2 {
+		t.Errorf("stringList: %v", s)
+	}
+}

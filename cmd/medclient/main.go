@@ -1,0 +1,196 @@
+// Command medclient is the querying client of the MMM system: it manages
+// the client key pair, attaches credentials to global queries, and runs
+// the client side of the delivery-phase protocols against a mediator.
+//
+// Usage:
+//
+//	medclient keygen -key client-key.pem -pub client-pub.pem
+//	medclient query -mediator 127.0.0.1:7100 -key client-key.pem \
+//	    -cred cred.json \
+//	    -sql "SELECT * FROM Orders JOIN Customers ON Orders.id = Customers.id" \
+//	    -protocol commutative
+package main
+
+import (
+	"crypto/rand"
+	"crypto/rsa"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/secmediation/secmediation/internal/credential"
+	"github.com/secmediation/secmediation/internal/das"
+	"github.com/secmediation/secmediation/internal/keyio"
+	"github.com/secmediation/secmediation/internal/mediation"
+	"github.com/secmediation/secmediation/internal/relation"
+	"github.com/secmediation/secmediation/internal/transport"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	var err error
+	switch os.Args[1] {
+	case "keygen":
+		err = runKeygen(os.Args[2:])
+	case "query":
+		err = runQuery(os.Args[2:])
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "medclient:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: medclient keygen|query [flags]")
+	os.Exit(2)
+}
+
+func runKeygen(args []string) error {
+	fs := flag.NewFlagSet("keygen", flag.ExitOnError)
+	keyPath := fs.String("key", "client-key.pem", "output path for the client private key")
+	pubPath := fs.String("pub", "client-pub.pem", "output path for the client public key")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	key, err := rsa.GenerateKey(rand.Reader, 2048)
+	if err != nil {
+		return err
+	}
+	if err := keyio.WritePrivateKeyFile(*keyPath, key); err != nil {
+		return err
+	}
+	if err := keyio.WritePublicKeyFile(*pubPath, &key.PublicKey); err != nil {
+		return err
+	}
+	fmt.Printf("client key written to %s, public key to %s\n", *keyPath, *pubPath)
+	fmt.Println("have a certification authority issue credentials for the public key (mmmca issue)")
+	return nil
+}
+
+type stringList []string
+
+func (s *stringList) String() string { return strings.Join(*s, ",") }
+
+func (s *stringList) Set(v string) error {
+	*s = append(*s, v)
+	return nil
+}
+
+func runQuery(args []string) error {
+	fs := flag.NewFlagSet("query", flag.ExitOnError)
+	mediatorAddr := fs.String("mediator", "127.0.0.1:7100", "mediator address")
+	keyPath := fs.String("key", "client-key.pem", "client private key")
+	sql := fs.String("sql", "", "global SQL query (two-relation JOIN)")
+	protoName := fs.String("protocol", "commutative", "delivery protocol: plaintext|mobilecode|das|commutative|pm")
+	partitions := fs.Int("partitions", 16, "DAS partitions per index table")
+	strategy := fs.String("strategy", "equi-depth", "DAS strategy: equi-width|equi-depth|hash-buckets")
+	groupBits := fs.Int("groupbits", 2048, "commutative safe-prime group size (1536|2048|3072)")
+	idMode := fs.Bool("idmode", false, "commutative footnote-1 ID mode")
+	paillierBits := fs.Int("paillier", 2048, "PM Paillier modulus size")
+	payload := fs.String("payload", "inline", "PM payload mode: inline|hybrid")
+	buckets := fs.Int("buckets", 0, "PM FNP bucket count (0 = single polynomial)")
+	csvOut := fs.String("csv", "", "write the result as CSV to this file instead of stdout")
+	var credPaths stringList
+	fs.Var(&credPaths, "cred", "credential JSON file (repeatable)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *sql == "" {
+		return fmt.Errorf("-sql is required")
+	}
+	key, err := keyio.ReadPrivateKeyFile(*keyPath)
+	if err != nil {
+		return err
+	}
+	client := &mediation.Client{PrivateKey: key}
+	for _, path := range credPaths {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		var c credential.Credential
+		if err := json.Unmarshal(data, &c); err != nil {
+			return fmt.Errorf("credential %s: %w", path, err)
+		}
+		client.Credentials = append(client.Credentials, &c)
+	}
+
+	proto, err := parseProtocol(*protoName)
+	if err != nil {
+		return err
+	}
+	strat, err := parseStrategy(*strategy)
+	if err != nil {
+		return err
+	}
+	params := mediation.Params{
+		Partitions:   *partitions,
+		Strategy:     strat,
+		GroupBits:    *groupBits,
+		IDMode:       *idMode,
+		PaillierBits: *paillierBits,
+		Buckets:      *buckets,
+	}
+	if *payload == "hybrid" {
+		params.PayloadMode = mediation.PayloadHybrid
+	} else if *payload != "inline" {
+		return fmt.Errorf("unknown payload mode %q", *payload)
+	}
+
+	conn, err := transport.Dial(*mediatorAddr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	res, err := client.Query(conn, *sql, proto, params)
+	if err != nil {
+		return err
+	}
+	if *csvOut != "" {
+		f, err := os.Create(*csvOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		return relation.WriteCSV(res, f)
+	}
+	fmt.Print(res.Sort().String())
+	return nil
+}
+
+func parseProtocol(name string) (mediation.Protocol, error) {
+	switch strings.ToLower(name) {
+	case "plaintext", "pt":
+		return mediation.ProtocolPlaintext, nil
+	case "mobilecode", "mc", "mobile-code":
+		return mediation.ProtocolMobileCode, nil
+	case "das":
+		return mediation.ProtocolDAS, nil
+	case "commutative", "comm":
+		return mediation.ProtocolCommutative, nil
+	case "pm", "private-matching":
+		return mediation.ProtocolPM, nil
+	default:
+		return 0, fmt.Errorf("unknown protocol %q", name)
+	}
+}
+
+func parseStrategy(name string) (das.Strategy, error) {
+	switch strings.ToLower(name) {
+	case "equi-width":
+		return das.EquiWidth, nil
+	case "equi-depth":
+		return das.EquiDepth, nil
+	case "hash-buckets":
+		return das.HashBuckets, nil
+	default:
+		return 0, fmt.Errorf("unknown strategy %q", name)
+	}
+}

@@ -1,0 +1,118 @@
+// Command mediator runs the MMM mediator: it accepts client sessions over
+// TCP, decomposes global JOIN queries against its configured global schema
+// (the "embedding"), dials the owning datasources, and executes the
+// mediator side of the selected delivery-phase protocol — over ciphertexts
+// only.
+//
+// Usage:
+//
+//	mediator -listen :7100 \
+//	    -route "Orders=127.0.0.1:7101;id:INT,item:TEXT" \
+//	    -route "Customers=127.0.0.1:7102;id:INT,city:TEXT" \
+//	    -hint "Orders=role" -hint "Customers=role"
+//
+// Each -route names a relation, the address of its datasource, and the
+// relation's schema as a comma-separated "col:TYPE" list.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"github.com/secmediation/secmediation/internal/mediation"
+	"github.com/secmediation/secmediation/internal/relation"
+	"github.com/secmediation/secmediation/internal/transport"
+)
+
+type stringList []string
+
+func (s *stringList) String() string { return strings.Join(*s, ",") }
+
+func (s *stringList) Set(v string) error {
+	*s = append(*s, v)
+	return nil
+}
+
+func main() {
+	listen := flag.String("listen", ":7100", "listen address")
+	var routes, hints stringList
+	flag.Var(&routes, "route", `relation route as "Rel=host:port;col:TYPE,col:TYPE" (repeatable)`)
+	flag.Var(&hints, "hint", "credential hint as Rel=propertyName (repeatable)")
+	flag.Parse()
+
+	med, err := buildMediator(routes, hints)
+	if err != nil {
+		log.Fatalf("mediator: %v", err)
+	}
+	l, err := transport.Listen(*listen)
+	if err != nil {
+		log.Fatalf("mediator: %v", err)
+	}
+	log.Printf("mediator serving %d relation route(s) at %s", len(med.Routes), l.Addr())
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			log.Fatalf("mediator: accept: %v", err)
+		}
+		go func() {
+			defer conn.Close()
+			if err := med.HandleSession(conn); err != nil {
+				log.Printf("session: %v", err)
+			}
+		}()
+	}
+}
+
+func buildMediator(routes, hints stringList) (*mediation.Mediator, error) {
+	med := &mediation.Mediator{
+		Schemas:   map[string]relation.Schema{},
+		Routes:    map[string]mediation.Dialer{},
+		CredHints: map[string][]string{},
+	}
+	for _, spec := range routes {
+		relName, rest, ok := strings.Cut(spec, "=")
+		if !ok {
+			return nil, fmt.Errorf("-route %q: want Rel=addr;schema", spec)
+		}
+		addr, schemaSpec, ok := strings.Cut(rest, ";")
+		if !ok {
+			return nil, fmt.Errorf("-route %q: want Rel=addr;schema", spec)
+		}
+		schema, err := parseSchema(relName, schemaSpec)
+		if err != nil {
+			return nil, fmt.Errorf("-route %q: %w", spec, err)
+		}
+		med.Schemas[relName] = schema
+		target := addr
+		med.Routes[relName] = func() (transport.Conn, error) { return transport.Dial(target) }
+	}
+	if len(med.Routes) == 0 {
+		return nil, fmt.Errorf("at least one -route is required")
+	}
+	for _, spec := range hints {
+		relName, prop, ok := strings.Cut(spec, "=")
+		if !ok {
+			return nil, fmt.Errorf("-hint %q: want Rel=property", spec)
+		}
+		med.CredHints[relName] = append(med.CredHints[relName], prop)
+	}
+	return med, nil
+}
+
+func parseSchema(relName, spec string) (relation.Schema, error) {
+	var cols []relation.Column
+	for _, field := range strings.Split(spec, ",") {
+		name, typ, ok := strings.Cut(strings.TrimSpace(field), ":")
+		if !ok {
+			return relation.Schema{}, fmt.Errorf("schema field %q: want col:TYPE", field)
+		}
+		kind, err := relation.ParseKind(typ)
+		if err != nil {
+			return relation.Schema{}, err
+		}
+		cols = append(cols, relation.Column{Name: name, Kind: kind})
+	}
+	return relation.NewSchema(relName, cols...)
+}

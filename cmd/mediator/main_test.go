@@ -1,0 +1,59 @@
+package main
+
+import (
+	"testing"
+
+	"github.com/secmediation/secmediation/internal/relation"
+)
+
+func TestBuildMediator(t *testing.T) {
+	med, err := buildMediator(
+		stringList{
+			"Orders=127.0.0.1:7101;id:INT,item:TEXT",
+			"Customers=127.0.0.1:7102;id:INT,city:TEXT",
+		},
+		stringList{"Orders=role", "Customers=role", "Customers=org"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(med.Routes) != 2 || len(med.Schemas) != 2 {
+		t.Errorf("mediator: %d routes, %d schemas", len(med.Routes), len(med.Schemas))
+	}
+	s := med.Schemas["Orders"]
+	if s.Arity() != 2 || s.Columns[0].Kind != relation.KindInt {
+		t.Errorf("schema: %v", s)
+	}
+	if len(med.CredHints["Customers"]) != 2 {
+		t.Errorf("hints: %v", med.CredHints)
+	}
+}
+
+func TestBuildMediatorErrors(t *testing.T) {
+	cases := []struct {
+		name          string
+		routes, hints stringList
+	}{
+		{"no routes", nil, nil},
+		{"missing =", stringList{"garbage"}, nil},
+		{"missing schema", stringList{"R=addr-only"}, nil},
+		{"bad schema field", stringList{"R=addr;nocolon"}, nil},
+		{"bad type", stringList{"R=addr;id:BLOB"}, nil},
+		{"dup column", stringList{"R=addr;id:INT,id:INT"}, nil},
+		{"bad hint", stringList{"R=addr;id:INT"}, stringList{"nohint"}},
+	}
+	for _, tc := range cases {
+		if _, err := buildMediator(tc.routes, tc.hints); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+func TestParseSchema(t *testing.T) {
+	s, err := parseSchema("R", "a:INT, b:TEXT, c:FLOAT, d:BOOL")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Arity() != 4 || s.Relation != "R" {
+		t.Errorf("schema: %v", s)
+	}
+}

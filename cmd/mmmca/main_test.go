@@ -1,0 +1,88 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"github.com/secmediation/secmediation/internal/credential"
+	"github.com/secmediation/secmediation/internal/keyio"
+)
+
+func TestInitAndIssue(t *testing.T) {
+	dir := t.TempDir()
+	caKey := filepath.Join(dir, "ca-key.pem")
+	caPub := filepath.Join(dir, "ca-pub.pem")
+	if err := runInit([]string{"-key", caKey, "-pub", caPub}); err != nil {
+		t.Fatal(err)
+	}
+	// A client key pair to certify.
+	clientKey := filepath.Join(dir, "client-key.pem")
+	clientPub := filepath.Join(dir, "client-pub.pem")
+	if err := runInit([]string{"-key", clientKey, "-pub", clientPub}); err != nil {
+		t.Fatal(err)
+	}
+	credPath := filepath.Join(dir, "cred.json")
+	err := runIssue([]string{
+		"-name", "TestCA", "-key", caKey, "-client-pub", clientPub,
+		"-prop", "role=analyst", "-prop", "org=acme",
+		"-validity", "1h", "-out", credPath,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(credPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cred credential.Credential
+	if err := json.Unmarshal(data, &cred); err != nil {
+		t.Fatal(err)
+	}
+	caVerify, err := keyio.ReadPublicKeyFile(caPub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cred.Verify(caVerify, time.Now()); err != nil {
+		t.Errorf("issued credential does not verify: %v", err)
+	}
+	if !cred.HasProperty("role", "analyst") || !cred.HasProperty("org", "acme") {
+		t.Errorf("credential properties: %v", cred.Properties)
+	}
+}
+
+func TestIssueValidation(t *testing.T) {
+	dir := t.TempDir()
+	caKey := filepath.Join(dir, "ca-key.pem")
+	if err := runInit([]string{"-key", caKey, "-pub", filepath.Join(dir, "p.pem")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := runIssue([]string{"-key", caKey}); err == nil {
+		t.Error("issue without -client-pub accepted")
+	}
+	if err := runIssue([]string{"-key", caKey, "-client-pub", filepath.Join(dir, "p.pem")}); err == nil {
+		t.Error("issue without properties accepted")
+	}
+	if err := runIssue([]string{"-key", "/missing", "-client-pub", filepath.Join(dir, "p.pem"), "-prop", "a=b"}); err == nil {
+		t.Error("issue with missing CA key accepted")
+	}
+}
+
+func TestPropListFlag(t *testing.T) {
+	var p propList
+	if err := p.Set("role=analyst"); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Set("novalue"); err == nil {
+		t.Error("malformed property accepted")
+	}
+	if err := p.Set("=x"); err == nil {
+		t.Error("empty name accepted")
+	}
+	if len(p) != 1 || p[0].Name != "role" {
+		t.Errorf("propList: %v", p)
+	}
+	_ = p.String()
+}

@@ -1,0 +1,143 @@
+package main
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var (
+	demoOnce sync.Once
+	shared   *demo
+)
+
+func sharedDemo(t *testing.T) *demo {
+	t.Helper()
+	demoOnce.Do(func() {
+		var err error
+		shared, err = newDemo()
+		if err != nil {
+			panic(err)
+		}
+	})
+	return shared
+}
+
+func TestIndexPage(t *testing.T) {
+	srv := httptest.NewServer(sharedDemo(t).handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET / = %d", resp.StatusCode)
+	}
+	body := readAll(t, resp)
+	for _, want := range []string{"Secure Mediation", "commutative", defaultSQL} {
+		if !strings.Contains(body, want) {
+			t.Errorf("index page missing %q", want)
+		}
+	}
+	// Unknown paths 404.
+	r2, err := http.Get(srv.URL + "/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2.Body.Close()
+	if r2.StatusCode != http.StatusNotFound {
+		t.Errorf("GET /nope = %d, want 404", r2.StatusCode)
+	}
+}
+
+func TestQueryEndpointAllProtocols(t *testing.T) {
+	srv := httptest.NewServer(sharedDemo(t).handler())
+	defer srv.Close()
+	for _, proto := range []string{"plaintext", "das", "commutative", "pm"} {
+		resp, err := http.PostForm(srv.URL+"/query", url.Values{
+			"sql":      {defaultSQL},
+			"protocol": {proto},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		body := readAll(t, resp)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d", proto, resp.StatusCode)
+		}
+		// The join matches customers 1, 2 (two orders) and 5 → 4 tuples.
+		if !strings.Contains(body, "Global result (4 tuples") {
+			t.Errorf("%s: result table missing or wrong size:\n%s", proto, snippet(body))
+		}
+		if !strings.Contains(body, "mediator observed") {
+			t.Errorf("%s: leakage table missing", proto)
+		}
+	}
+}
+
+func TestQueryEndpointErrors(t *testing.T) {
+	srv := httptest.NewServer(sharedDemo(t).handler())
+	defer srv.Close()
+	// Bad SQL surfaces as a rendered error, not a 500.
+	resp, err := http.PostForm(srv.URL+"/query", url.Values{
+		"sql": {"not sql"}, "protocol": {"commutative"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := readAll(t, resp)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(body, "class=\"err\"") {
+		t.Errorf("bad SQL: status %d, err block present: %v", resp.StatusCode, strings.Contains(body, "err"))
+	}
+	// Unknown protocol.
+	resp2, err := http.PostForm(srv.URL+"/query", url.Values{
+		"sql": {defaultSQL}, "protocol": {"quantum"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	body2 := readAll(t, resp2)
+	resp2.Body.Close()
+	if !strings.Contains(body2, "unknown protocol") {
+		t.Error("unknown protocol not reported")
+	}
+	// GET on /query redirects home.
+	client := &http.Client{CheckRedirect: func(*http.Request, []*http.Request) error {
+		return http.ErrUseLastResponse
+	}}
+	resp3, err := client.Get(srv.URL + "/query")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp3.Body.Close()
+	if resp3.StatusCode != http.StatusSeeOther {
+		t.Errorf("GET /query = %d, want 303", resp3.StatusCode)
+	}
+}
+
+func readAll(t *testing.T, resp *http.Response) string {
+	t.Helper()
+	var sb strings.Builder
+	buf := make([]byte, 4096)
+	for {
+		n, err := resp.Body.Read(buf)
+		sb.Write(buf[:n])
+		if err != nil {
+			break
+		}
+	}
+	return sb.String()
+}
+
+func snippet(s string) string {
+	if len(s) > 400 {
+		return s[:400]
+	}
+	return s
+}

@@ -1,0 +1,27 @@
+// Command webdemo reproduces the paper's closing remark — "a prototypical
+// web based system for commutative encryption has thus been implemented at
+// our department" — as a small HTTP front end: it assembles an in-process
+// demo federation (CA, credentialed client, two datasources, untrusted
+// mediator) and serves a form that runs any of the delivery protocols
+// against it, rendering the global result next to everything the mediator
+// could observe.
+//
+//	webdemo -listen :8080
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+)
+
+func main() {
+	listen := flag.String("listen", ":8080", "HTTP listen address")
+	flag.Parse()
+	demo, err := newDemo()
+	if err != nil {
+		log.Fatalf("webdemo: %v", err)
+	}
+	log.Printf("webdemo: serving on %s", *listen)
+	log.Fatal(http.ListenAndServe(*listen, demo.handler()))
+}

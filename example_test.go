@@ -1,0 +1,80 @@
+package secmediation_test
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	secmediation "github.com/secmediation/secmediation"
+)
+
+// ExampleNetwork_Query runs one secure join end-to-end: certification
+// authority, credentialed client, two datasources, untrusted mediator.
+func ExampleNetwork_Query() {
+	ca, err := secmediation.NewAuthority("DemoCA")
+	if err != nil {
+		log.Fatal(err)
+	}
+	client, err := secmediation.NewClient()
+	if err != nil {
+		log.Fatal(err)
+	}
+	cred, err := ca.Issue(secmediation.PublicKeyOf(client),
+		[]secmediation.Property{{Name: "role", Value: "analyst"}}, time.Hour)
+	if err != nil {
+		log.Fatal(err)
+	}
+	client.Credentials = secmediation.Credentials{cred}
+
+	orders, err := secmediation.FromTuples(
+		secmediation.MustSchema("Orders",
+			secmediation.Column{Name: "cust", Kind: secmediation.KindInt},
+			secmediation.Column{Name: "item", Kind: secmediation.KindString}),
+		secmediation.Tuple{secmediation.Int(1), secmediation.Str("book")},
+		secmediation.Tuple{secmediation.Int(2), secmediation.Str("lamp")})
+	if err != nil {
+		log.Fatal(err)
+	}
+	customers, err := secmediation.FromTuples(
+		secmediation.MustSchema("Customers",
+			secmediation.Column{Name: "cust", Kind: secmediation.KindInt},
+			secmediation.Column{Name: "city", Kind: secmediation.KindString}),
+		secmediation.Tuple{secmediation.Int(2), secmediation.Str("berlin")},
+		secmediation.Tuple{secmediation.Int(3), secmediation.Str("essen")})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	net, err := secmediation.NewNetwork(client, &secmediation.Mediator{},
+		secmediation.NewSource("Shop", map[string]*secmediation.Relation{"Orders": orders},
+			[]*secmediation.Policy{secmediation.RequireProperty("Orders", "role", "analyst")}, ca),
+		secmediation.NewSource("CRM", map[string]*secmediation.Relation{"Customers": customers},
+			[]*secmediation.Policy{secmediation.RequireProperty("Customers", "role", "analyst")}, ca))
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The commutative protocol: the mediator joins ciphertexts and the
+	// client receives exactly the matching tuples.
+	res, err := net.Query(
+		"SELECT item, city FROM Orders JOIN Customers ON Orders.cust = Customers.cust",
+		secmediation.Commutative, secmediation.Params{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, t := range res.Sort().Tuples() {
+		fmt.Println(t[0], t[1])
+	}
+	// Output:
+	// lamp berlin
+}
+
+// ExampleParseWhere shows stating a row-level policy filter in SQL.
+func ExampleParseWhere() {
+	pred, err := secmediation.ParseWhere("SELECT * FROM R WHERE sensitive = FALSE")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(pred)
+	// Output:
+	// sensitive = false
+}

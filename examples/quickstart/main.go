@@ -1,0 +1,79 @@
+// Command quickstart runs the same JOIN query through all five delivery
+// protocols (plaintext baseline, mobile-code baseline, DAS, commutative
+// encryption, private matching) on an in-memory network and prints the
+// identical results with per-protocol wall time — the fastest way to see
+// the whole system work.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	secmediation "github.com/secmediation/secmediation"
+)
+
+func main() {
+	// Preparatory phase: certification authority, client key pair, and a
+	// credential binding role=analyst to the client's public key.
+	ca, err := secmediation.NewAuthority("QuickstartCA")
+	if err != nil {
+		log.Fatal(err)
+	}
+	client, err := secmediation.NewClient()
+	if err != nil {
+		log.Fatal(err)
+	}
+	cred, err := ca.Issue(secmediation.PublicKeyOf(client),
+		[]secmediation.Property{{Name: "role", Value: "analyst"}}, time.Hour)
+	if err != nil {
+		log.Fatal(err)
+	}
+	client.Credentials = secmediation.Credentials{cred}
+
+	// Two datasources with one relation each.
+	orders := secmediation.MustSchema("Orders",
+		secmediation.Column{Name: "cust", Kind: secmediation.KindInt},
+		secmediation.Column{Name: "item", Kind: secmediation.KindString})
+	customers := secmediation.MustSchema("Customers",
+		secmediation.Column{Name: "cust", Kind: secmediation.KindInt},
+		secmediation.Column{Name: "city", Kind: secmediation.KindString})
+	r1, err := secmediation.FromTuples(orders,
+		secmediation.Tuple{secmediation.Int(1), secmediation.Str("book")},
+		secmediation.Tuple{secmediation.Int(2), secmediation.Str("lamp")},
+		secmediation.Tuple{secmediation.Int(2), secmediation.Str("pen")},
+		secmediation.Tuple{secmediation.Int(5), secmediation.Str("desk")})
+	if err != nil {
+		log.Fatal(err)
+	}
+	r2, err := secmediation.FromTuples(customers,
+		secmediation.Tuple{secmediation.Int(1), secmediation.Str("dortmund")},
+		secmediation.Tuple{secmediation.Int(2), secmediation.Str("berlin")},
+		secmediation.Tuple{secmediation.Int(9), secmediation.Str("essen")})
+	if err != nil {
+		log.Fatal(err)
+	}
+	shop := secmediation.NewSource("ShopDB", map[string]*secmediation.Relation{"Orders": r1},
+		[]*secmediation.Policy{secmediation.RequireProperty("Orders", "role", "analyst")}, ca)
+	crm := secmediation.NewSource("CRM", map[string]*secmediation.Relation{"Customers": r2},
+		[]*secmediation.Policy{secmediation.RequireProperty("Customers", "role", "analyst")}, ca)
+
+	net, err := secmediation.NewNetwork(client, &secmediation.Mediator{}, shop, crm)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const sql = "SELECT item, city FROM Orders JOIN Customers ON Orders.cust = Customers.cust"
+	fmt.Printf("global query: %s\n\n", sql)
+	for _, proto := range []secmediation.Protocol{
+		secmediation.Plaintext, secmediation.MobileCode,
+		secmediation.DAS, secmediation.Commutative, secmediation.PM,
+	} {
+		start := time.Now()
+		res, err := net.Query(sql, proto, secmediation.Params{})
+		if err != nil {
+			log.Fatalf("%v: %v", proto, err)
+		}
+		fmt.Printf("== %-24s (%v)\n%s\n", proto, time.Since(start).Round(time.Millisecond), res.Sort())
+	}
+}

@@ -1,0 +1,3 @@
+module github.com/secmediation/secmediation
+
+go 1.22

@@ -1,0 +1,165 @@
+package algebra
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	rel "github.com/secmediation/secmediation/internal/relation"
+)
+
+// randRelation builds a small random relation R(id INT, v TEXT).
+func randRelation(rng *rand.Rand, name string, rows, domain int) *rel.Relation {
+	s := rel.MustSchema(name,
+		rel.Column{Name: "id", Kind: rel.KindInt},
+		rel.Column{Name: "v", Kind: rel.KindString})
+	r := rel.New(s)
+	for i := 0; i < rows; i++ {
+		r.MustAppend(rel.Tuple{
+			rel.Int(int64(rng.Intn(domain))),
+			rel.String_(string(rune('a' + rng.Intn(4)))),
+		})
+	}
+	return r
+}
+
+// Law: selection on a left-side predicate commutes with the join —
+// σ_p(A ⋈ B) = σ_p(A) ⋈ B. This is the algebraic identity behind the DAS
+// selection-pushdown extension.
+func TestLawSelectionPushdown(t *testing.T) {
+	f := func(seed int64, boundRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randRelation(rng, "A", 1+rng.Intn(20), 8)
+		b := randRelation(rng, "B", 1+rng.Intn(20), 8)
+		bound := int64(boundRaw % 8)
+		pred := Compare{Op: OpLe, Left: ColumnRef{"A.id"}, Right: Literal{rel.Int(bound)}}
+		predLocal := Compare{Op: OpLe, Left: ColumnRef{"id"}, Right: Literal{rel.Int(bound)}}
+
+		joined, err := EquiJoin(a, b, []string{"id"}, []string{"id"})
+		if err != nil {
+			return false
+		}
+		lhs, err := Select(joined, pred)
+		if err != nil {
+			return false
+		}
+		aFiltered, err := Select(a, predLocal)
+		if err != nil {
+			return false
+		}
+		rhs, err := EquiJoin(aFiltered, b, []string{"id"}, []string{"id"})
+		if err != nil {
+			return false
+		}
+		return lhs.EqualMultiset(rhs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Law: |A ⋈ B| equals the sum over shared keys of |Tup_A(a)|·|Tup_B(a)| —
+// the cardinality identity the protocols' result assembly relies on.
+func TestLawJoinCardinality(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randRelation(rng, "A", 1+rng.Intn(25), 6)
+		b := randRelation(rng, "B", 1+rng.Intn(25), 6)
+		joined, err := EquiJoin(a, b, []string{"id"}, []string{"id"})
+		if err != nil {
+			return false
+		}
+		ga, err := a.GroupByColumns([]string{"id"})
+		if err != nil {
+			return false
+		}
+		counts := map[int64]int{}
+		for _, g := range ga {
+			counts[g.Key[0].AsInt()] = len(g.Tuples)
+		}
+		gb, err := b.GroupByColumns([]string{"id"})
+		if err != nil {
+			return false
+		}
+		want := 0
+		for _, g := range gb {
+			want += counts[g.Key[0].AsInt()] * len(g.Tuples)
+		}
+		return joined.Len() == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Law: join is commutative up to column order — |A ⋈ B| = |B ⋈ A| and the
+// projections onto either side's columns agree as multisets.
+func TestLawJoinCommutative(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randRelation(rng, "A", 1+rng.Intn(20), 5)
+		b := randRelation(rng, "B", 1+rng.Intn(20), 5)
+		ab, err := EquiJoin(a, b, []string{"id"}, []string{"id"})
+		if err != nil {
+			return false
+		}
+		ba, err := EquiJoin(b, a, []string{"id"}, []string{"id"})
+		if err != nil {
+			return false
+		}
+		if ab.Len() != ba.Len() {
+			return false
+		}
+		pab, err := Project(ab, "A.id", "A.v")
+		if err != nil {
+			return false
+		}
+		pba, err := Project(ba, "A.id", "A.v")
+		if err != nil {
+			return false
+		}
+		return pab.EqualMultiset(pba)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Law: Distinct is idempotent, and Intersect(A, A) = Distinct(A).
+func TestLawDistinctIntersect(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randRelation(rng, "A", 1+rng.Intn(30), 4)
+		d := Distinct(a)
+		if !Distinct(d).EqualMultiset(d) {
+			return false
+		}
+		self, err := Intersect(a, a)
+		if err != nil {
+			return false
+		}
+		return self.EqualMultiset(d)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUnqualifyUnique(t *testing.T) {
+	s := rel.MustSchema("J",
+		rel.Column{Name: "A.id", Kind: rel.KindInt},
+		rel.Column{Name: "B.id", Kind: rel.KindInt},
+		rel.Column{Name: "A.name", Kind: rel.KindString})
+	r := rel.MustFromTuples(s, rel.Tuple{rel.Int(1), rel.Int(1), rel.String_("x")})
+	out, err := UnqualifyUnique(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "id" is ambiguous → keeps qualification; "name" is unique → drops it.
+	if out.Schema().IndexOf("A.id") < 0 || out.Schema().IndexOf("B.id") < 0 {
+		t.Errorf("ambiguous columns were unqualified: %v", out.Schema())
+	}
+	if i := out.Schema().IndexOf("name"); i < 0 {
+		t.Errorf("unique column not unqualified: %v", out.Schema())
+	}
+}

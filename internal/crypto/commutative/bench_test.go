@@ -1,0 +1,50 @@
+package commutative
+
+import (
+	"crypto/rand"
+	"fmt"
+	"testing"
+
+	"github.com/secmediation/secmediation/internal/crypto/groups"
+	"github.com/secmediation/secmediation/internal/crypto/oracle"
+	"github.com/secmediation/secmediation/internal/relation"
+)
+
+// Per-group-size cost of the commutative primitive: the dominant term of
+// the Listing 3 protocol (sources perform 2·|dom| of these each).
+func BenchmarkEncrypt(b *testing.B) {
+	for _, g := range []*groups.Group{groups.MODP1536(), groups.MODP2048(), groups.MODP3072()} {
+		b.Run(fmt.Sprintf("group=%d", g.Bits()), func(b *testing.B) {
+			key, err := GenerateKey(g, rand.Reader)
+			if err != nil {
+				b.Fatal(err)
+			}
+			x, err := g.RandomElement(rand.Reader)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := key.Encrypt(x); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkKeyGeneration(b *testing.B) {
+	g := groups.MODP2048()
+	for i := 0; i < b.N; i++ {
+		if _, err := GenerateKey(g, rand.Reader); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkIdealHash(b *testing.B) {
+	o := oracle.New(groups.MODP2048(), "bench")
+	for i := 0; i < b.N; i++ {
+		o.HashValue(relation.Int(int64(i)))
+	}
+}

@@ -1,0 +1,90 @@
+// Package commutative implements the commutative encryption function used
+// by the paper's Section 4 protocol (after Agrawal, Evfimievski, Srikant):
+// Pohlig–Hellman exponentiation f_e(x) = x^e mod p over QR(p), the
+// quadratic-residue subgroup of a safe prime p = 2q+1.
+//
+// The four defining properties hold by construction:
+//
+//   - Commutativity: f_e1(f_e2(x)) = x^(e1·e2) = f_e2(f_e1(x)).
+//   - Bijectivity: gcd(e, q) = 1 because q is prime and 1 ≤ e < q, so
+//     exponentiation permutes the order-q subgroup QR(p).
+//   - Invertibility: d = e⁻¹ mod q gives f_d(f_e(x)) = x^(e·d mod q) = x.
+//   - Secrecy: under the Decisional Diffie–Hellman assumption in QR(p),
+//     ⟨x, x^e, y, y^e⟩ is indistinguishable from ⟨x, x^e, y, z⟩ for random
+//     x, y, z — the indistinguishability property Agrawal et al. prove.
+//
+// Inputs must be elements of QR(p); the protocols guarantee this by hashing
+// attribute values into QR(p) with the ideal-hash oracle
+// (internal/crypto/oracle).
+package commutative
+
+import (
+	"fmt"
+	"io"
+	"math/big"
+
+	"github.com/secmediation/secmediation/internal/crypto/groups"
+)
+
+// Key is a commutative encryption key: a secret exponent and its inverse
+// in a fixed safe-prime group. Both datasources must use the same group
+// (the paper's common domain dom_f); they generate independent exponents.
+type Key struct {
+	group *groups.Group
+	e     *big.Int // encryption exponent, 1 ≤ e < q
+	d     *big.Int // decryption exponent, e·d ≡ 1 (mod q)
+}
+
+// GenerateKey draws a fresh secret exponent in the given group.
+func GenerateKey(g *groups.Group, rnd io.Reader) (*Key, error) {
+	e, err := g.RandomExponent(rnd)
+	if err != nil {
+		return nil, err
+	}
+	d := new(big.Int).ModInverse(e, g.Q)
+	if d == nil {
+		// unreachable for prime q and 1 ≤ e < q, but fail loudly
+		return nil, fmt.Errorf("commutative: exponent not invertible")
+	}
+	return &Key{group: g, e: e, d: d}, nil
+}
+
+// newKeyForTest builds a key from a fixed exponent; used by tests only.
+func newKeyForTest(g *groups.Group, e *big.Int) (*Key, error) {
+	em := new(big.Int).Mod(e, g.Q)
+	if em.Sign() == 0 {
+		return nil, fmt.Errorf("commutative: zero exponent")
+	}
+	d := new(big.Int).ModInverse(em, g.Q)
+	if d == nil {
+		return nil, fmt.Errorf("commutative: exponent not invertible")
+	}
+	return &Key{group: g, e: em, d: d}, nil
+}
+
+// Group returns the key's group.
+func (k *Key) Group() *groups.Group { return k.group }
+
+// Encrypt computes f_e(x) = x^e mod p. x must be in QR(p): the function
+// returns an error otherwise, because applying it outside the subgroup
+// breaks both bijectivity and the security argument.
+func (k *Key) Encrypt(x *big.Int) (*big.Int, error) {
+	if !k.group.IsQuadraticResidue(x) {
+		return nil, fmt.Errorf("commutative: input not in QR(p)")
+	}
+	return new(big.Int).Exp(x, k.e, k.group.P), nil
+}
+
+// ReEncrypt applies f_e to an already-encrypted element (the second layer
+// in the protocol's cross-encryption step). Ciphertexts are elements of
+// QR(p), so this is the same operation as Encrypt; the separate name keeps
+// protocol code readable.
+func (k *Key) ReEncrypt(c *big.Int) (*big.Int, error) { return k.Encrypt(c) }
+
+// Decrypt computes f_e⁻¹(y) = y^d mod p.
+func (k *Key) Decrypt(y *big.Int) (*big.Int, error) {
+	if !k.group.IsQuadraticResidue(y) {
+		return nil, fmt.Errorf("commutative: ciphertext not in QR(p)")
+	}
+	return new(big.Int).Exp(y, k.d, k.group.P), nil
+}

@@ -1,0 +1,192 @@
+// Package ecelgamal implements the additively homomorphic "elliptic curve
+// variant of ElGamal" the paper cites as an alternative to Paillier
+// (Cramer/Gennaro/Schoenmakers, EUROCRYPT'97): exponential ElGamal over
+// NIST P-256, where a message m is encrypted as
+//
+//	C1 = r·G,   C2 = m·G + r·PK
+//
+// so that component-wise addition of ciphertexts adds plaintexts and
+// scalar multiplication scales them. Decryption recovers M = m·G and then
+// solves a small discrete logarithm with baby-step/giant-step, which caps
+// usable plaintexts at a configurable bound — the practical reason the PM
+// protocol proper uses Paillier (arbitrary payloads) while this scheme
+// serves the homomorphic-primitive ablation (see DESIGN.md, ablation-homo).
+package ecelgamal
+
+import (
+	"crypto/elliptic"
+	"crypto/rand"
+	"fmt"
+	"io"
+	"math/big"
+)
+
+// point is an affine curve point; (nil, nil)-valued coordinates are never
+// used — the point at infinity is represented as (0, 0), matching
+// crypto/elliptic's affine convention.
+type point struct{ x, y *big.Int }
+
+func (p point) isInfinity() bool { return p.x.Sign() == 0 && p.y.Sign() == 0 }
+
+// PublicKey is an EC-ElGamal public key.
+type PublicKey struct {
+	Curve elliptic.Curve
+	X, Y  *big.Int
+}
+
+// PrivateKey is an EC-ElGamal private key.
+type PrivateKey struct {
+	PublicKey
+	D *big.Int
+}
+
+// Ciphertext is an EC-ElGamal ciphertext (two curve points).
+type Ciphertext struct {
+	C1X, C1Y *big.Int
+	C2X, C2Y *big.Int
+}
+
+// GenerateKey creates a P-256 key pair.
+func GenerateKey(rnd io.Reader) (*PrivateKey, error) {
+	curve := elliptic.P256()
+	d, err := rand.Int(rnd, new(big.Int).Sub(curve.Params().N, big.NewInt(1)))
+	if err != nil {
+		return nil, fmt.Errorf("ecelgamal: generate key: %w", err)
+	}
+	d.Add(d, big.NewInt(1))
+	x, y := curve.ScalarBaseMult(d.Bytes())
+	return &PrivateKey{PublicKey: PublicKey{Curve: curve, X: x, Y: y}, D: d}, nil
+}
+
+// Encrypt encrypts a small non-negative integer m.
+func (pk *PublicKey) Encrypt(rnd io.Reader, m int64) (*Ciphertext, error) {
+	if m < 0 {
+		return nil, fmt.Errorf("ecelgamal: negative plaintext %d", m)
+	}
+	r, err := rand.Int(rnd, new(big.Int).Sub(pk.Curve.Params().N, big.NewInt(1)))
+	if err != nil {
+		return nil, fmt.Errorf("ecelgamal: encrypt: %w", err)
+	}
+	r.Add(r, big.NewInt(1))
+	c1x, c1y := pk.Curve.ScalarBaseMult(r.Bytes())
+	// m·G
+	var mx, my *big.Int
+	if m == 0 {
+		mx, my = new(big.Int), new(big.Int)
+	} else {
+		mx, my = pk.Curve.ScalarBaseMult(big.NewInt(m).Bytes())
+	}
+	// r·PK
+	sx, sy := pk.Curve.ScalarMult(pk.X, pk.Y, r.Bytes())
+	c2x, c2y := addPoints(pk.Curve, point{mx, my}, point{sx, sy})
+	return &Ciphertext{C1X: c1x, C1Y: c1y, C2X: c2x, C2Y: c2y}, nil
+}
+
+// Add returns a ciphertext of the plaintext sum.
+func (pk *PublicKey) Add(a, b *Ciphertext) *Ciphertext {
+	x1, y1 := addPoints(pk.Curve, point{a.C1X, a.C1Y}, point{b.C1X, b.C1Y})
+	x2, y2 := addPoints(pk.Curve, point{a.C2X, a.C2Y}, point{b.C2X, b.C2Y})
+	return &Ciphertext{C1X: x1, C1Y: y1, C2X: x2, C2Y: y2}
+}
+
+// MulConst returns a ciphertext of γ·m.
+func (pk *PublicKey) MulConst(a *Ciphertext, gamma int64) *Ciphertext {
+	if gamma == 0 {
+		z := new(big.Int)
+		return &Ciphertext{C1X: z, C1Y: new(big.Int), C2X: new(big.Int), C2Y: new(big.Int)}
+	}
+	g := new(big.Int).Mod(big.NewInt(gamma), pk.Curve.Params().N)
+	x1, y1 := scalarMulPoint(pk.Curve, point{a.C1X, a.C1Y}, g)
+	x2, y2 := scalarMulPoint(pk.Curve, point{a.C2X, a.C2Y}, g)
+	return &Ciphertext{C1X: x1, C1Y: y1, C2X: x2, C2Y: y2}
+}
+
+// Decrypter solves the final small discrete log with a baby-step/giant-step
+// table; it is reusable across decryptions.
+type Decrypter struct {
+	sk       *PrivateKey
+	babySize int64
+	maxM     int64
+	baby     map[string]int64 // encoded j·G -> j for j in [0, babySize)
+	giantX   *big.Int         // -babySize·G, added per giant step
+	giantY   *big.Int
+}
+
+// NewDecrypter builds a decrypter able to recover plaintexts in [0, maxM].
+// Table size is ~sqrt(maxM) points.
+func NewDecrypter(sk *PrivateKey, maxM int64) (*Decrypter, error) {
+	if maxM < 1 {
+		return nil, fmt.Errorf("ecelgamal: maxM must be positive")
+	}
+	babySize := int64(1)
+	for babySize*babySize < maxM+1 {
+		babySize++
+	}
+	curve := sk.Curve
+	baby := make(map[string]int64, babySize)
+	// j = 0 is the point at infinity; handled in Decrypt directly.
+	x, y := new(big.Int), new(big.Int)
+	for j := int64(1); j < babySize; j++ {
+		if j == 1 {
+			x, y = curve.ScalarBaseMult(big.NewInt(1).Bytes())
+		} else {
+			x, y = curve.Add(x, y, curve.Params().Gx, curve.Params().Gy)
+		}
+		baby[pointKey(x, y)] = j
+	}
+	// giant = -(babySize·G)
+	gx, gy := curve.ScalarBaseMult(big.NewInt(babySize).Bytes())
+	gy = new(big.Int).Neg(gy)
+	gy.Mod(gy, curve.Params().P)
+	return &Decrypter{sk: sk, babySize: babySize, maxM: maxM, baby: baby, giantX: gx, giantY: gy}, nil
+}
+
+// Decrypt recovers m ∈ [0, maxM], or an error if the plaintext is out of
+// range (which, in the PM setting, marks a non-matching masked value).
+func (d *Decrypter) Decrypt(c *Ciphertext) (int64, error) {
+	curve := d.sk.Curve
+	// M = C2 - D·C1
+	sx, sy := scalarMulPoint(curve, point{c.C1X, c.C1Y}, d.sk.D)
+	sy = new(big.Int).Neg(sy)
+	sy.Mod(sy, curve.Params().P)
+	mx, my := addPoints(curve, point{c.C2X, c.C2Y}, point{sx, sy})
+	// BSGS: m = i·babySize + j
+	x, y := mx, my
+	for i := int64(0); i*d.babySize <= d.maxM; i++ {
+		if (point{x, y}).isInfinity() {
+			return i * d.babySize, nil
+		}
+		if j, ok := d.baby[pointKey(x, y)]; ok {
+			m := i*d.babySize + j
+			if m <= d.maxM {
+				return m, nil
+			}
+			return 0, fmt.Errorf("ecelgamal: plaintext beyond maxM")
+		}
+		x, y = addPoints(curve, point{x, y}, point{d.giantX, d.giantY})
+	}
+	return 0, fmt.Errorf("ecelgamal: discrete log not found in [0, %d]", d.maxM)
+}
+
+// addPoints adds two affine points, treating (0,0) as infinity (the
+// convention crypto/elliptic.Add also follows for its affine interface).
+func addPoints(curve elliptic.Curve, a, b point) (*big.Int, *big.Int) {
+	if a.isInfinity() {
+		return new(big.Int).Set(b.x), new(big.Int).Set(b.y)
+	}
+	if b.isInfinity() {
+		return new(big.Int).Set(a.x), new(big.Int).Set(a.y)
+	}
+	return curve.Add(a.x, a.y, b.x, b.y)
+}
+
+func scalarMulPoint(curve elliptic.Curve, p point, k *big.Int) (*big.Int, *big.Int) {
+	if p.isInfinity() || k.Sign() == 0 {
+		return new(big.Int), new(big.Int)
+	}
+	return curve.ScalarMult(p.x, p.y, k.Bytes())
+}
+
+func pointKey(x, y *big.Int) string {
+	return string(x.Bytes()) + "|" + string(y.Bytes())
+}

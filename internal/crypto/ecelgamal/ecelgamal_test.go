@@ -1,0 +1,145 @@
+package ecelgamal
+
+import (
+	"crypto/rand"
+	"sync"
+	"testing"
+)
+
+var (
+	once sync.Once
+	sk   *PrivateKey
+	dec  *Decrypter
+)
+
+func setup(t testing.TB) (*PrivateKey, *Decrypter) {
+	t.Helper()
+	once.Do(func() {
+		var err error
+		sk, err = GenerateKey(rand.Reader)
+		if err != nil {
+			panic(err)
+		}
+		dec, err = NewDecrypter(sk, 1<<20)
+		if err != nil {
+			panic(err)
+		}
+	})
+	return sk, dec
+}
+
+func TestEncryptDecryptRoundtrip(t *testing.T) {
+	key, d := setup(t)
+	for _, m := range []int64{0, 1, 2, 1000, 65535, 65536, 1 << 20} {
+		c, err := key.Encrypt(rand.Reader, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := d.Decrypt(c)
+		if err != nil {
+			t.Fatalf("Decrypt(%d): %v", m, err)
+		}
+		if got != m {
+			t.Errorf("roundtrip %d -> %d", m, got)
+		}
+	}
+}
+
+func TestNegativePlaintextRejected(t *testing.T) {
+	key, _ := setup(t)
+	if _, err := key.Encrypt(rand.Reader, -1); err == nil {
+		t.Error("negative plaintext accepted")
+	}
+}
+
+func TestHomomorphicAdd(t *testing.T) {
+	key, d := setup(t)
+	ca, _ := key.Encrypt(rand.Reader, 1234)
+	cb, _ := key.Encrypt(rand.Reader, 4321)
+	got, err := d.Decrypt(key.Add(ca, cb))
+	if err != nil || got != 5555 {
+		t.Errorf("Add: %d, %v; want 5555", got, err)
+	}
+	// Adding zero keeps the plaintext.
+	cz, _ := key.Encrypt(rand.Reader, 0)
+	got0, err := d.Decrypt(key.Add(ca, cz))
+	if err != nil || got0 != 1234 {
+		t.Errorf("Add zero: %d, %v", got0, err)
+	}
+}
+
+func TestHomomorphicMulConst(t *testing.T) {
+	key, d := setup(t)
+	ca, _ := key.Encrypt(rand.Reader, 300)
+	got, err := d.Decrypt(key.MulConst(ca, 7))
+	if err != nil || got != 2100 {
+		t.Errorf("MulConst: %d, %v; want 2100", got, err)
+	}
+	gz, err := d.Decrypt(key.MulConst(ca, 0))
+	if err != nil || gz != 0 {
+		t.Errorf("MulConst by 0: %d, %v", gz, err)
+	}
+}
+
+func TestDecryptOutOfRange(t *testing.T) {
+	key, _ := setup(t)
+	small, err := NewDecrypter(key, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, _ := key.Encrypt(rand.Reader, 5000)
+	if _, err := small.Decrypt(c); err == nil {
+		t.Error("out-of-range plaintext decrypted")
+	}
+}
+
+func TestNewDecrypterValidation(t *testing.T) {
+	key, _ := setup(t)
+	if _, err := NewDecrypter(key, 0); err == nil {
+		t.Error("maxM=0 accepted")
+	}
+}
+
+func TestEncryptionIsProbabilistic(t *testing.T) {
+	key, _ := setup(t)
+	c1, _ := key.Encrypt(rand.Reader, 9)
+	c2, _ := key.Encrypt(rand.Reader, 9)
+	if c1.C1X.Cmp(c2.C1X) == 0 && c1.C2X.Cmp(c2.C2X) == 0 {
+		t.Error("two encryptions of 9 are identical")
+	}
+}
+
+// Polynomial evaluation under EC-ElGamal on small values: the ablation's
+// core operation (Horner with Add/MulConst is impossible without
+// plaintext-ciphertext multiplication, so we evaluate via coefficient
+// scaling E(sum c_k a^k) = sum a^k · E(c_k)).
+func TestSmallPolynomialEvaluation(t *testing.T) {
+	key, d := setup(t)
+	// P(x) = 6 - 5x + x² has roots 2 and 3. Evaluate homomorphically at 2
+	// (root) and 4 (non-root), using positive coefficient arithmetic:
+	// P(x) = x² + 6 - 5x → compute E(x²·1) + E(6) then compare to E(5x).
+	eval := func(a int64) (int64, int64) {
+		c0, _ := key.Encrypt(rand.Reader, 6)
+		c1, _ := key.Encrypt(rand.Reader, 5)
+		c2, _ := key.Encrypt(rand.Reader, 1)
+		pos := key.Add(key.MulConst(c2, a*a), c0) // a² + 6
+		neg := key.MulConst(c1, a)                // 5a
+		p, err := d.Decrypt(pos)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n, err := d.Decrypt(neg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p, n
+	}
+	p, n := eval(2)
+	if p != n {
+		t.Errorf("P(2): %d != %d, want root", p, n)
+	}
+	p, n = eval(4)
+	if p == n {
+		t.Errorf("P(4): %d == %d, want non-root", p, n)
+	}
+}

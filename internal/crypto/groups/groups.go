@@ -1,0 +1,208 @@
+// Package groups provides the algebraic setting of the commutative
+// encryption scheme: safe-prime groups and their subgroup of quadratic
+// residues.
+//
+// Agrawal et al. (and, following them, the commutative protocol of the
+// paper) work in QR(p), the subgroup of quadratic residues modulo a safe
+// prime p = 2q+1 with q prime. QR(p) has prime order q, so every element
+// except 1 generates it and exponentiation with exponents coprime to q is
+// a bijection on it — exactly the structure the commutative encryption
+// function f_e(x) = x^e mod p needs.
+//
+// The package embeds the RFC 3526 MODP groups (1536/2048/3072/4096 bit),
+// whose moduli are genuine safe primes, and also implements a from-scratch
+// safe-prime generator for smaller test parameters.
+package groups
+
+import (
+	"crypto/rand"
+	"fmt"
+	"io"
+	"math/big"
+	"strings"
+	"sync"
+)
+
+var (
+	one = big.NewInt(1)
+	two = big.NewInt(2)
+)
+
+// Group is a safe-prime group: P = 2Q+1 with both P and Q prime. QR(P) is
+// the order-Q subgroup of squares.
+type Group struct {
+	// P is the safe prime modulus.
+	P *big.Int
+	// Q is the Sophie Germain prime (P-1)/2, the order of QR(P).
+	Q *big.Int
+}
+
+// Bits returns the bit length of the modulus.
+func (g *Group) Bits() int { return g.P.BitLen() }
+
+// Validate checks the safe-prime structure: P prime, Q prime, P = 2Q+1.
+// It uses 32 rounds of Miller-Rabin (plus the Baillie-PSW test run by
+// ProbablyPrime), which makes the error probability negligible.
+func (g *Group) Validate() error {
+	if g.P == nil || g.Q == nil {
+		return fmt.Errorf("groups: nil modulus")
+	}
+	expect := new(big.Int).Mul(g.Q, two)
+	expect.Add(expect, one)
+	if expect.Cmp(g.P) != 0 {
+		return fmt.Errorf("groups: P != 2Q+1")
+	}
+	if !g.P.ProbablyPrime(32) {
+		return fmt.Errorf("groups: P is not prime")
+	}
+	if !g.Q.ProbablyPrime(32) {
+		return fmt.Errorf("groups: Q is not prime")
+	}
+	return nil
+}
+
+// IsQuadraticResidue reports whether x is in QR(P), i.e. x^Q ≡ 1 (mod P)
+// and 0 < x < P.
+func (g *Group) IsQuadraticResidue(x *big.Int) bool {
+	if x.Sign() <= 0 || x.Cmp(g.P) >= 0 {
+		return false
+	}
+	return new(big.Int).Exp(x, g.Q, g.P).Cmp(one) == 0
+}
+
+// Square maps any 0 < x < P into QR(P) by squaring.
+func (g *Group) Square(x *big.Int) *big.Int {
+	return new(big.Int).Exp(x, two, g.P)
+}
+
+// RandomExponent draws a uniformly random exponent e in [1, Q-1]. Because
+// Q is prime every such e is coprime to Q, hence invertible mod Q — a valid
+// commutative encryption key.
+func (g *Group) RandomExponent(rnd io.Reader) (*big.Int, error) {
+	max := new(big.Int).Sub(g.Q, one) // draw from [0, Q-2], shift to [1, Q-1]
+	e, err := rand.Int(rnd, max)
+	if err != nil {
+		return nil, fmt.Errorf("groups: random exponent: %w", err)
+	}
+	return e.Add(e, one), nil
+}
+
+// RandomElement draws a uniformly random element of QR(P) by squaring a
+// random element of Z_P^*.
+func (g *Group) RandomElement(rnd io.Reader) (*big.Int, error) {
+	max := new(big.Int).Sub(g.P, two) // [0, P-3] -> [2, P-1]
+	x, err := rand.Int(rnd, max)
+	if err != nil {
+		return nil, fmt.Errorf("groups: random element: %w", err)
+	}
+	x.Add(x, two)
+	return g.Square(x), nil
+}
+
+// GenerateSafePrime generates a fresh safe-prime group with a modulus of
+// the given bit length. Intended for tests and small parameters; for
+// production-size moduli prefer the embedded RFC 3526 groups, which are
+// standardized and free.
+func GenerateSafePrime(bits int, rnd io.Reader) (*Group, error) {
+	if bits < 16 {
+		return nil, fmt.Errorf("groups: modulus of %d bits is too small", bits)
+	}
+	for {
+		q, err := rand.Prime(rnd, bits-1)
+		if err != nil {
+			return nil, fmt.Errorf("groups: generate safe prime: %w", err)
+		}
+		p := new(big.Int).Mul(q, two)
+		p.Add(p, one)
+		if p.BitLen() != bits {
+			continue
+		}
+		if p.ProbablyPrime(32) {
+			return &Group{P: p, Q: new(big.Int).Set(q)}, nil
+		}
+	}
+}
+
+// RFC 3526 MODP moduli (all safe primes).
+const (
+	modp1536Hex = `
+FFFFFFFF FFFFFFFF C90FDAA2 2168C234 C4C6628B 80DC1CD1
+29024E08 8A67CC74 020BBEA6 3B139B22 514A0879 8E3404DD
+EF9519B3 CD3A431B 302B0A6D F25F1437 4FE1356D 6D51C245
+E485B576 625E7EC6 F44C42E9 A637ED6B 0BFF5CB6 F406B7ED
+EE386BFB 5A899FA5 AE9F2411 7C4B1FE6 49286651 ECE45B3D
+C2007CB8 A163BF05 98DA4836 1C55D39A 69163FA8 FD24CF5F
+83655D23 DCA3AD96 1C62F356 208552BB 9ED52907 7096966D
+670C354E 4ABC9804 F1746C08 CA237327 FFFFFFFF FFFFFFFF`
+
+	modp2048Hex = `
+FFFFFFFF FFFFFFFF C90FDAA2 2168C234 C4C6628B 80DC1CD1
+29024E08 8A67CC74 020BBEA6 3B139B22 514A0879 8E3404DD
+EF9519B3 CD3A431B 302B0A6D F25F1437 4FE1356D 6D51C245
+E485B576 625E7EC6 F44C42E9 A637ED6B 0BFF5CB6 F406B7ED
+EE386BFB 5A899FA5 AE9F2411 7C4B1FE6 49286651 ECE45B3D
+C2007CB8 A163BF05 98DA4836 1C55D39A 69163FA8 FD24CF5F
+83655D23 DCA3AD96 1C62F356 208552BB 9ED52907 7096966D
+670C354E 4ABC9804 F1746C08 CA18217C 32905E46 2E36CE3B
+E39E772C 180E8603 9B2783A2 EC07A28F B5C55DF0 6F4C52C9
+DE2BCBF6 95581718 3995497C EA956AE5 15D22618 98FA0510
+15728E5A 8AACAA68 FFFFFFFF FFFFFFFF`
+
+	modp3072Hex = `
+FFFFFFFF FFFFFFFF C90FDAA2 2168C234 C4C6628B 80DC1CD1
+29024E08 8A67CC74 020BBEA6 3B139B22 514A0879 8E3404DD
+EF9519B3 CD3A431B 302B0A6D F25F1437 4FE1356D 6D51C245
+E485B576 625E7EC6 F44C42E9 A637ED6B 0BFF5CB6 F406B7ED
+EE386BFB 5A899FA5 AE9F2411 7C4B1FE6 49286651 ECE45B3D
+C2007CB8 A163BF05 98DA4836 1C55D39A 69163FA8 FD24CF5F
+83655D23 DCA3AD96 1C62F356 208552BB 9ED52907 7096966D
+670C354E 4ABC9804 F1746C08 CA18217C 32905E46 2E36CE3B
+E39E772C 180E8603 9B2783A2 EC07A28F B5C55DF0 6F4C52C9
+DE2BCBF6 95581718 3995497C EA956AE5 15D22618 98FA0510
+15728E5A 8AAAC42D AD33170D 04507A33 A85521AB DF1CBA64
+ECFB8504 58DBEF0A 8AEA7157 5D060C7D B3970F85 A6E1E4C7
+ABF5AE8C DB0933D7 1E8C94E0 4A25619D CEE3D226 1AD2EE6B
+F12FFA06 D98A0864 D8760273 3EC86A64 521F2B18 177B200C
+BBE11757 7A615D6C 770988C0 BAD946E2 08E24FA0 74E5AB31
+43DB5BFC E0FD108E 4B82D120 A93AD2CA FFFFFFFF FFFFFFFF`
+)
+
+func parseHexGroup(hex string) *Group {
+	clean := strings.Map(func(r rune) rune {
+		if r == ' ' || r == '\n' || r == '\t' {
+			return -1
+		}
+		return r
+	}, hex)
+	p, ok := new(big.Int).SetString(clean, 16)
+	if !ok {
+		panic("groups: bad embedded modulus")
+	}
+	q := new(big.Int).Sub(p, one)
+	q.Rsh(q, 1)
+	return &Group{P: p, Q: q}
+}
+
+var (
+	modp1536Once, modp2048Once, modp3072Once sync.Once
+	modp1536G, modp2048G, modp3072G          *Group
+)
+
+// MODP1536 returns the RFC 3526 1536-bit group (group 5).
+func MODP1536() *Group {
+	modp1536Once.Do(func() { modp1536G = parseHexGroup(modp1536Hex) })
+	return modp1536G
+}
+
+// MODP2048 returns the RFC 3526 2048-bit group (group 14). This is the
+// default parameter set of the commutative protocol.
+func MODP2048() *Group {
+	modp2048Once.Do(func() { modp2048G = parseHexGroup(modp2048Hex) })
+	return modp2048G
+}
+
+// MODP3072 returns the RFC 3526 3072-bit group (group 15).
+func MODP3072() *Group {
+	modp3072Once.Do(func() { modp3072G = parseHexGroup(modp3072Hex) })
+	return modp3072G
+}

@@ -1,0 +1,116 @@
+package groups
+
+import (
+	"crypto/rand"
+	"math/big"
+	"testing"
+)
+
+func TestEmbeddedGroupsAreSafePrimes(t *testing.T) {
+	for name, g := range map[string]*Group{
+		"MODP1536": MODP1536(),
+		"MODP2048": MODP2048(),
+		"MODP3072": MODP3072(),
+	} {
+		if err := g.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+	if MODP1536().Bits() != 1536 || MODP2048().Bits() != 2048 || MODP3072().Bits() != 3072 {
+		t.Error("embedded group bit lengths wrong")
+	}
+}
+
+func TestGenerateSafePrime(t *testing.T) {
+	g, err := GenerateSafePrime(128, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Error(err)
+	}
+	if g.Bits() != 128 {
+		t.Errorf("generated group bits = %d, want 128", g.Bits())
+	}
+	if _, err := GenerateSafePrime(8, rand.Reader); err == nil {
+		t.Error("8-bit safe prime accepted")
+	}
+}
+
+func TestValidateRejectsBadGroups(t *testing.T) {
+	g := &Group{P: big.NewInt(23), Q: big.NewInt(11)} // 23 = 2*11+1, both prime: valid
+	if err := g.Validate(); err != nil {
+		t.Errorf("23/11 rejected: %v", err)
+	}
+	bad := []*Group{
+		{P: big.NewInt(25), Q: big.NewInt(12)}, // neither prime
+		{P: big.NewInt(23), Q: big.NewInt(7)},  // structure wrong
+		{P: big.NewInt(13), Q: big.NewInt(6)},  // Q not prime
+		{},                                     // nil moduli
+	}
+	for _, g := range bad {
+		if err := g.Validate(); err == nil {
+			t.Errorf("Validate(%v/%v) accepted", g.P, g.Q)
+		}
+	}
+}
+
+func TestQuadraticResidues(t *testing.T) {
+	g := &Group{P: big.NewInt(23), Q: big.NewInt(11)}
+	// QR(23) = squares mod 23: {1,2,3,4,6,8,9,12,13,16,18}
+	want := map[int64]bool{1: true, 2: true, 3: true, 4: true, 6: true, 8: true, 9: true, 12: true, 13: true, 16: true, 18: true}
+	for x := int64(1); x < 23; x++ {
+		got := g.IsQuadraticResidue(big.NewInt(x))
+		if got != want[x] {
+			t.Errorf("IsQuadraticResidue(%d) = %v, want %v", x, got, want[x])
+		}
+	}
+	if g.IsQuadraticResidue(big.NewInt(0)) || g.IsQuadraticResidue(big.NewInt(23)) {
+		t.Error("out-of-range element accepted as QR")
+	}
+}
+
+func TestSquareLandsInQR(t *testing.T) {
+	g := MODP2048()
+	for i := 0; i < 10; i++ {
+		x, err := rand.Int(rand.Reader, new(big.Int).Sub(g.P, big.NewInt(3)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		x.Add(x, big.NewInt(2))
+		if !g.IsQuadraticResidue(g.Square(x)) {
+			t.Errorf("Square(%v...) not in QR", x.String()[:16])
+		}
+	}
+}
+
+func TestRandomElementInQR(t *testing.T) {
+	g := MODP1536()
+	for i := 0; i < 5; i++ {
+		x, err := g.RandomElement(rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !g.IsQuadraticResidue(x) {
+			t.Error("RandomElement not in QR")
+		}
+	}
+}
+
+func TestRandomExponentRange(t *testing.T) {
+	g := &Group{P: big.NewInt(23), Q: big.NewInt(11)}
+	seen := map[int64]bool{}
+	for i := 0; i < 200; i++ {
+		e, err := g.RandomExponent(rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e.Sign() <= 0 || e.Cmp(g.Q) >= 0 {
+			t.Fatalf("exponent %v out of [1, Q-1]", e)
+		}
+		seen[e.Int64()] = true
+	}
+	if len(seen) < 5 {
+		t.Errorf("exponents not spread: %v", seen)
+	}
+}

@@ -1,0 +1,69 @@
+package hybrid
+
+import (
+	"crypto/rand"
+	"fmt"
+	"testing"
+)
+
+// Hybrid-encryption costs: the per-message sealing is cheap AES-GCM; the
+// per-partial-result session setup pays one RSA-OAEP wrap.
+func BenchmarkSessionSetup(b *testing.B) {
+	key, err := GenerateKeyPair(rand.Reader)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewSession(&key.PublicKey); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSeal(b *testing.B) {
+	key, err := GenerateKeyPair(rand.Reader)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sess, err := NewSession(&key.PublicKey)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, size := range []int{64, 1024, 16384} {
+		b.Run(fmt.Sprintf("msg=%dB", size), func(b *testing.B) {
+			msg := make([]byte, size)
+			b.SetBytes(int64(size))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sess.Seal(msg, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkReceiverSetupAndOpen(b *testing.B) {
+	key, err := GenerateKeyPair(rand.Reader)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sess, _ := NewSession(&key.PublicKey)
+	ct, _ := sess.Seal(make([]byte, 1024), nil)
+	b.Run("receiver-setup", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := NewReceiver(key, sess.WrappedKey()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	recv, _ := NewReceiver(key, sess.WrappedKey())
+	b.Run("open-1KiB", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := recv.Open(ct, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,24 @@
+package hybrid
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzUnmarshalCiphertext: arbitrary blobs must never panic, and accepted
+// ciphertexts must re-marshal byte-identically.
+func FuzzUnmarshalCiphertext(f *testing.F) {
+	good := (&Ciphertext{WrappedKey: []byte{1, 2}, Nonce: make([]byte, 12), Sealed: []byte{9}}).Marshal()
+	f.Add(good)
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 200})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := UnmarshalCiphertext(data)
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(c.Marshal(), data) {
+			t.Fatal("ciphertext re-marshal mismatch")
+		}
+	})
+}

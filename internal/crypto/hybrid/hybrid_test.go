@@ -1,0 +1,161 @@
+package hybrid
+
+import (
+	"bytes"
+	"crypto/rand"
+	"crypto/rsa"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+var (
+	keyOnce sync.Once
+	testKey *rsa.PrivateKey
+)
+
+func clientKey(t testing.TB) *rsa.PrivateKey {
+	t.Helper()
+	keyOnce.Do(func() {
+		var err error
+		testKey, err = GenerateKeyPair(rand.Reader)
+		if err != nil {
+			panic(err)
+		}
+	})
+	return testKey
+}
+
+func TestEncryptDecryptRoundtrip(t *testing.T) {
+	key := clientKey(t)
+	msgs := [][]byte{nil, {}, []byte("x"), bytes.Repeat([]byte("tuple-data "), 1000)}
+	for _, m := range msgs {
+		c, err := Encrypt(&key.PublicKey, m, []byte("aad"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Decrypt(key, c, []byte("aad"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, m) {
+			t.Errorf("roundtrip mismatch for %d-byte message", len(m))
+		}
+	}
+}
+
+func TestDecryptRejectsTampering(t *testing.T) {
+	key := clientKey(t)
+	c, err := Encrypt(&key.PublicKey, []byte("secret partial result"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a ciphertext bit: AEAD must reject.
+	c.Sealed[0] ^= 1
+	if _, err := Decrypt(key, c, nil); err == nil {
+		t.Error("tampered ciphertext accepted")
+	}
+	c.Sealed[0] ^= 1
+	// Wrong AAD must reject.
+	if _, err := Decrypt(key, c, []byte("other")); err == nil {
+		t.Error("wrong AAD accepted")
+	}
+	// Wrong key must reject.
+	other, err := GenerateKeyPair(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decrypt(other, c, nil); err == nil {
+		t.Error("wrong private key accepted")
+	}
+}
+
+func TestCiphertextMarshalRoundtrip(t *testing.T) {
+	key := clientKey(t)
+	c, err := Encrypt(&key.PublicKey, []byte("payload"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := c.Marshal()
+	got, err := UnmarshalCiphertext(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.WrappedKey, c.WrappedKey) || !bytes.Equal(got.Nonce, c.Nonce) || !bytes.Equal(got.Sealed, c.Sealed) {
+		t.Error("marshal roundtrip mismatch")
+	}
+	pt, err := Decrypt(key, got, nil)
+	if err != nil || string(pt) != "payload" {
+		t.Errorf("decrypt after marshal: %q, %v", pt, err)
+	}
+}
+
+func TestUnmarshalCiphertextErrors(t *testing.T) {
+	bad := [][]byte{
+		nil,
+		{0, 0, 0},                               // truncated header
+		{0, 0, 0, 9, 1, 2},                      // body shorter than declared
+		append((&Ciphertext{}).Marshal(), 0xFF), // trailing byte
+	}
+	for _, b := range bad {
+		if _, err := UnmarshalCiphertext(b); err == nil {
+			t.Errorf("UnmarshalCiphertext(% x) succeeded", b)
+		}
+	}
+}
+
+func TestSessionManyMessages(t *testing.T) {
+	key := clientKey(t)
+	sess, err := NewSession(&key.PublicKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recv, err := NewReceiver(key, sess.WrappedKey())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(msg []byte, aad []byte) bool {
+		c, err := sess.Seal(msg, aad)
+		if err != nil {
+			return false
+		}
+		if len(c.WrappedKey) != 0 {
+			return false // session ciphertexts carry no wrapped key
+		}
+		got, err := recv.Open(c, aad)
+		return err == nil && bytes.Equal(got, msg)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSessionCiphertextNotOneShotDecryptable(t *testing.T) {
+	key := clientKey(t)
+	sess, _ := NewSession(&key.PublicKey)
+	c, _ := sess.Seal([]byte("m"), nil)
+	if _, err := Decrypt(key, c, nil); err == nil {
+		t.Error("Decrypt accepted a session ciphertext without wrapped key")
+	}
+}
+
+func TestNewReceiverWrongKey(t *testing.T) {
+	key := clientKey(t)
+	other, err := GenerateKeyPair(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, _ := NewSession(&key.PublicKey)
+	if _, err := NewReceiver(other, sess.WrappedKey()); err == nil {
+		t.Error("NewReceiver unwrapped with the wrong key")
+	}
+}
+
+func TestEncryptionIsRandomized(t *testing.T) {
+	key := clientKey(t)
+	c1, _ := Encrypt(&key.PublicKey, []byte("m"), nil)
+	c2, _ := Encrypt(&key.PublicKey, []byte("m"), nil)
+	if bytes.Equal(c1.Sealed, c2.Sealed) && bytes.Equal(c1.Nonce, c2.Nonce) {
+		t.Error("two encryptions of the same message are identical")
+	}
+}

@@ -1,0 +1,133 @@
+// Package ope implements deterministic order-preserving encryption for
+// the related-work comparison of the paper's Section 7: Özsoyoglu, Singer
+// and Chung study order-preserving encryption and its query
+// transformations as an alternative to DAS bucketization for evaluating
+// comparisons directly on ciphertexts.
+//
+// Construction: a keyed, strictly monotone injection from the plaintext
+// interval [0, 2^PlainBits) into a larger ciphertext interval
+// [0, 2^CipherBits). The function is defined by recursive interval
+// bisection: at every level the plaintext interval is halved and the
+// ciphertext interval is split at a pseudorandom pivot (HMAC-SHA256 of the
+// interval under the key) chosen so both halves keep enough room. The
+// scheme is deterministic — equal plaintexts encrypt equal — and
+// comparisons on ciphertexts equal comparisons on plaintexts, which is
+// precisely its leakage: an adversary sees the full order relation (and
+// approximate magnitude), strictly more than DAS bucketization reveals.
+// The ablation in ope_test.go / EXPERIMENTS.md quantifies the trade-off:
+// exact server-side range filtering vs. coarse index filtering.
+package ope
+
+import (
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"fmt"
+	"math/big"
+)
+
+const (
+	// PlainBits bounds plaintexts to [0, 2^PlainBits).
+	PlainBits = 32
+	// CipherBits is the ciphertext space size; the gap (CipherBits −
+	// PlainBits) keeps every recursion level's pivot choice non-degenerate.
+	CipherBits = 64
+)
+
+// Key is an OPE key: a random 32-byte secret.
+type Key struct {
+	secret [32]byte
+}
+
+// GenerateKey draws a fresh OPE key.
+func GenerateKey() (*Key, error) {
+	var k Key
+	if _, err := rand.Read(k.secret[:]); err != nil {
+		return nil, fmt.Errorf("ope: generate key: %w", err)
+	}
+	return &k, nil
+}
+
+// NewKeyFromSecret builds a key from caller-provided secret material
+// (tests; key distribution is out of scope here).
+func NewKeyFromSecret(secret []byte) *Key {
+	var k Key
+	sum := sha256.Sum256(secret)
+	copy(k.secret[:], sum[:])
+	return &k
+}
+
+// prf derives a pseudorandom integer in [0, bound) for an interval label.
+func (k *Key) prf(level uint, plo uint64, bound *big.Int) *big.Int {
+	mac := hmac.New(sha256.New, k.secret[:])
+	var buf [12]byte
+	buf[0] = byte(level)
+	buf[1] = byte(level >> 8)
+	for i := 0; i < 8; i++ {
+		buf[2+i] = byte(plo >> (8 * i))
+	}
+	mac.Write(buf[:])
+	// 256 PRF bits against a ≤64-bit bound: modulo bias is negligible.
+	v := new(big.Int).SetBytes(mac.Sum(nil))
+	return v.Mod(v, bound)
+}
+
+// Encrypt maps a plaintext in [0, 2^PlainBits) to its order-preserving
+// ciphertext in [0, 2^CipherBits).
+func (k *Key) Encrypt(x uint64) (uint64, error) {
+	if x >= 1<<PlainBits {
+		return 0, fmt.Errorf("ope: plaintext %d out of [0, 2^%d)", x, PlainBits)
+	}
+	plo, phi := uint64(0), uint64(1)<<PlainBits // plaintext interval [plo, phi)
+	// Ciphertext interval bounds as big.Int: 2^CipherBits does not fit a
+	// uint64, and the pivot arithmetic must not wrap.
+	cLo := new(big.Int)
+	cHi := new(big.Int).Lsh(big.NewInt(1), CipherBits)
+	level := uint(0)
+	for phi-plo > 1 {
+		pmid := plo + (phi-plo)/2
+		leftNeed := new(big.Int).SetUint64(pmid - plo)  // left half must fit
+		rightNeed := new(big.Int).SetUint64(phi - pmid) // right half must fit
+		span := new(big.Int).Sub(cHi, cLo)
+		slack := new(big.Int).Sub(span, leftNeed)
+		slack.Sub(slack, rightNeed)
+		if slack.Sign() < 0 {
+			return 0, fmt.Errorf("ope: ciphertext space exhausted (internal invariant)")
+		}
+		slack.Add(slack, big.NewInt(1))
+		pivotOff := k.prf(level, plo, slack)
+		pivot := new(big.Int).Add(cLo, leftNeed)
+		pivot.Add(pivot, pivotOff)
+		if x < pmid {
+			phi = pmid
+			cHi = pivot
+		} else {
+			plo = pmid
+			cLo = pivot
+		}
+		level++
+	}
+	return cLo.Uint64(), nil
+}
+
+// EncryptRangeLow returns the smallest possible ciphertext for plaintexts
+// ≥ x — i.e. Encrypt(x). Range query translation for "v ≥ x".
+func (k *Key) EncryptRangeLow(x uint64) (uint64, error) { return k.Encrypt(x) }
+
+// EncryptRangeHigh returns an inclusive ciphertext upper bound for
+// plaintexts ≤ x. Because the scheme is strictly monotone, Encrypt(x) is
+// exact. Range query translation for "v ≤ x".
+func (k *Key) EncryptRangeHigh(x uint64) (uint64, error) { return k.Encrypt(x) }
+
+// CompareEncrypted orders two ciphertexts; identical to comparing the
+// plaintexts (the defining property, and the leakage).
+func CompareEncrypted(a, b uint64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}

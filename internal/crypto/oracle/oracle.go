@@ -1,0 +1,72 @@
+// Package oracle instantiates the paper's "ideal hash function h"
+// (assumed to be computed by a random oracle, shared by both datasources):
+// it maps attribute values to elements of QR(p) so they can be fed into
+// the commutative encryption function.
+//
+// Construction: the value's canonical byte encoding (relation.Value.Encode)
+// is expanded with SHA-256 under a counter until the resulting integer
+// lands in [2, p-1]; the result is then squared modulo p, which places it
+// in the quadratic-residue subgroup. Identical inputs yield identical
+// outputs; distinct inputs collide only with negligible probability
+// (a SHA-256 collision or a ±x square collision on hashed values).
+package oracle
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"math/big"
+
+	"github.com/secmediation/secmediation/internal/crypto/groups"
+	"github.com/secmediation/secmediation/internal/relation"
+)
+
+// Oracle hashes values into QR(p) for a fixed group. A domain-separation
+// label keeps oracles of unrelated protocol runs independent (both sources
+// of one run must use the same label, per the paper's shared-h assumption).
+type Oracle struct {
+	group *groups.Group
+	label string
+}
+
+// New returns an oracle for the group with the given domain-separation
+// label.
+func New(g *groups.Group, label string) *Oracle {
+	return &Oracle{group: g, label: label}
+}
+
+// Group returns the oracle's group.
+func (o *Oracle) Group() *groups.Group { return o.group }
+
+// HashBytes maps an arbitrary byte string into QR(p).
+func (o *Oracle) HashBytes(data []byte) *big.Int {
+	pMinus1 := new(big.Int).Sub(o.group.P, big.NewInt(1))
+	// Expand enough SHA-256 blocks to cover the modulus size plus a 64-bit
+	// slack so the mod bias is negligible, then reduce into [2, p-1].
+	need := (o.group.P.BitLen() + 7) / 8
+	need += 8
+	var stream []byte
+	var ctr uint32
+	for len(stream) < need {
+		h := sha256.New()
+		h.Write([]byte("secmediation/oracle:"))
+		h.Write([]byte(o.label))
+		h.Write([]byte{0})
+		var cb [4]byte
+		binary.BigEndian.PutUint32(cb[:], ctr)
+		h.Write(cb[:])
+		h.Write(data)
+		stream = h.Sum(stream)
+		ctr++
+	}
+	x := new(big.Int).SetBytes(stream[:need])
+	// x mod (p-2) ∈ [0, p-3]; +2 ∈ [2, p-1]
+	x.Mod(x, new(big.Int).Sub(pMinus1, big.NewInt(1)))
+	x.Add(x, big.NewInt(2))
+	return o.group.Square(x)
+}
+
+// HashValue maps an attribute value into QR(p) via its canonical encoding.
+// This is the paper's h(a) for a ∈ domactive(R_i.A_join).
+func (o *Oracle) HashValue(v relation.Value) *big.Int {
+	return o.HashBytes(v.Encode(nil))
+}

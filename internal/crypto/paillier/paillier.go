@@ -1,0 +1,281 @@
+// Package paillier implements the Paillier public-key cryptosystem
+// (Paillier, EUROCRYPT'99), the additively homomorphic scheme the paper's
+// private-matching protocol (Section 5) relies on:
+//
+//   - E(a)·E(b) mod n²  decrypts to  a+b mod n      (homomorphic addition)
+//   - E(a)^γ   mod n²  decrypts to  γ·a mod n      (scalar multiplication)
+//
+// which is exactly what oblivious polynomial evaluation
+// E(r·P(a') + (a'‖payload)) needs.
+//
+// Construction (with the standard g = n+1 simplification):
+//
+//	KeyGen: n = p·q for equal-size primes, λ = lcm(p-1, q-1), μ = λ⁻¹ mod n
+//	Enc(m): c = (1 + m·n) · rⁿ mod n²  for random r ∈ Z_n^*
+//	Dec(c): m = L(c^λ mod n²) · μ mod n,  L(u) = (u-1)/n
+package paillier
+
+import (
+	"crypto/rand"
+	"fmt"
+	"io"
+	"math/big"
+)
+
+var one = big.NewInt(1)
+
+// PublicKey is a Paillier public key.
+type PublicKey struct {
+	// N is the modulus.
+	N *big.Int
+	// NSquared caches N².
+	NSquared *big.Int
+}
+
+// PrivateKey is a Paillier private key. Decryption uses the standard CRT
+// optimization (work modulo p² and q² instead of n²), which is ~3–4×
+// faster than the textbook λ/μ route; both paths are kept and
+// cross-checked in tests.
+type PrivateKey struct {
+	PublicKey
+	lambda *big.Int // lcm(p-1, q-1)
+	mu     *big.Int // lambda⁻¹ mod n
+
+	// CRT precomputation.
+	p, q     *big.Int
+	pSq, qSq *big.Int // p², q²
+	hp, hq   *big.Int // L_p(g^{p-1} mod p²)⁻¹ mod p, and the q analogue
+	pInvQ    *big.Int // p⁻¹ mod q
+}
+
+// Ciphertext is a Paillier ciphertext, an element of Z_{n²}^*.
+type Ciphertext struct {
+	C *big.Int
+}
+
+// GenerateKey creates a key pair with a modulus of the given bit length.
+// bits must be even and at least 64 (tests use small parameters; use 2048+
+// in earnest).
+func GenerateKey(rnd io.Reader, bits int) (*PrivateKey, error) {
+	if bits < 64 || bits%2 != 0 {
+		return nil, fmt.Errorf("paillier: invalid modulus size %d", bits)
+	}
+	for {
+		p, err := rand.Prime(rnd, bits/2)
+		if err != nil {
+			return nil, fmt.Errorf("paillier: generate prime: %w", err)
+		}
+		q, err := rand.Prime(rnd, bits/2)
+		if err != nil {
+			return nil, fmt.Errorf("paillier: generate prime: %w", err)
+		}
+		if p.Cmp(q) == 0 {
+			continue
+		}
+		n := new(big.Int).Mul(p, q)
+		if n.BitLen() != bits {
+			continue
+		}
+		pm1 := new(big.Int).Sub(p, one)
+		qm1 := new(big.Int).Sub(q, one)
+		gcd := new(big.Int).GCD(nil, nil, pm1, qm1)
+		lambda := new(big.Int).Mul(pm1, qm1)
+		lambda.Div(lambda, gcd)
+		mu := new(big.Int).ModInverse(lambda, n)
+		if mu == nil {
+			continue // gcd(lambda, n) != 1; retry with new primes
+		}
+		key := &PrivateKey{
+			PublicKey: PublicKey{N: n, NSquared: new(big.Int).Mul(n, n)},
+			lambda:    lambda,
+			mu:        mu,
+			p:         p, q: q,
+			pSq: new(big.Int).Mul(p, p),
+			qSq: new(big.Int).Mul(q, q),
+		}
+		// h_p = L_p(g^{p-1} mod p²)⁻¹ mod p with g = n+1, so
+		// g^{p-1} mod p² = 1 + (p-1)·n mod p² and L_p is exact division.
+		g := new(big.Int).Add(n, one)
+		key.hp = crtH(g, p, key.pSq, pm1)
+		key.hq = crtH(g, q, key.qSq, qm1)
+		key.pInvQ = new(big.Int).ModInverse(p, q)
+		if key.hp == nil || key.hq == nil || key.pInvQ == nil {
+			continue // degenerate primes; retry
+		}
+		return key, nil
+	}
+}
+
+// crtH computes L_r(g^{r-1} mod r²)⁻¹ mod r for a prime factor r.
+func crtH(g, r, rSq, rm1 *big.Int) *big.Int {
+	u := new(big.Int).Exp(g, rm1, rSq)
+	u.Sub(u, one)
+	u.Div(u, r)
+	u.Mod(u, r)
+	return u.ModInverse(u, r)
+}
+
+// MaxPlaintext returns the largest encodable plaintext, n-1.
+func (pk *PublicKey) MaxPlaintext() *big.Int {
+	return new(big.Int).Sub(pk.N, one)
+}
+
+// Encrypt encrypts 0 ≤ m < n.
+func (pk *PublicKey) Encrypt(rnd io.Reader, m *big.Int) (*Ciphertext, error) {
+	if m.Sign() < 0 || m.Cmp(pk.N) >= 0 {
+		return nil, fmt.Errorf("paillier: plaintext out of range [0, n)")
+	}
+	r, err := pk.randomUnit(rnd)
+	if err != nil {
+		return nil, err
+	}
+	// c = (1 + m·n) · r^n mod n²
+	c := new(big.Int).Mul(m, pk.N)
+	c.Add(c, one)
+	c.Mod(c, pk.NSquared)
+	rn := new(big.Int).Exp(r, pk.N, pk.NSquared)
+	c.Mul(c, rn)
+	c.Mod(c, pk.NSquared)
+	return &Ciphertext{C: c}, nil
+}
+
+// EncryptInt64 encrypts a small non-negative integer.
+func (pk *PublicKey) EncryptInt64(rnd io.Reader, m int64) (*Ciphertext, error) {
+	if m < 0 {
+		return nil, fmt.Errorf("paillier: negative plaintext %d", m)
+	}
+	return pk.Encrypt(rnd, big.NewInt(m))
+}
+
+// EncryptSigned encrypts a possibly negative value by reducing it modulo n
+// (two's-complement style: -x encodes as n-x). DecryptSigned reverses it.
+// The PM polynomial coefficients are signed, so the protocol uses this pair.
+func (pk *PublicKey) EncryptSigned(rnd io.Reader, m *big.Int) (*Ciphertext, error) {
+	mm := new(big.Int).Mod(m, pk.N)
+	return pk.Encrypt(rnd, mm)
+}
+
+// Decrypt recovers the plaintext in [0, n), via CRT when the key carries
+// its factorization (keys from GenerateKey always do).
+func (sk *PrivateKey) Decrypt(c *Ciphertext) (*big.Int, error) {
+	if err := sk.checkCiphertext(c); err != nil {
+		return nil, err
+	}
+	if sk.p == nil {
+		return sk.decryptLambda(c), nil
+	}
+	// m_p = L_p(c^{p-1} mod p²)·h_p mod p; m_q analogously.
+	mp := new(big.Int).Exp(c.C, new(big.Int).Sub(sk.p, one), sk.pSq)
+	mp.Sub(mp, one)
+	mp.Div(mp, sk.p)
+	mp.Mul(mp, sk.hp)
+	mp.Mod(mp, sk.p)
+	mq := new(big.Int).Exp(c.C, new(big.Int).Sub(sk.q, one), sk.qSq)
+	mq.Sub(mq, one)
+	mq.Div(mq, sk.q)
+	mq.Mul(mq, sk.hq)
+	mq.Mod(mq, sk.q)
+	// CRT recombination: m = m_p + p·((m_q − m_p)·p⁻¹ mod q).
+	t := new(big.Int).Sub(mq, mp)
+	t.Mul(t, sk.pInvQ)
+	t.Mod(t, sk.q)
+	t.Mul(t, sk.p)
+	t.Add(t, mp)
+	return t, nil
+}
+
+// decryptLambda is the textbook λ/μ decryption; kept as the reference path
+// and cross-checked against the CRT path in tests.
+func (sk *PrivateKey) decryptLambda(c *Ciphertext) *big.Int {
+	u := new(big.Int).Exp(c.C, sk.lambda, sk.NSquared)
+	// L(u) = (u-1)/n
+	u.Sub(u, one)
+	u.Div(u, sk.N)
+	u.Mul(u, sk.mu)
+	u.Mod(u, sk.N)
+	return u
+}
+
+// DecryptSigned recovers a signed plaintext in (-n/2, n/2].
+func (sk *PrivateKey) DecryptSigned(c *Ciphertext) (*big.Int, error) {
+	m, err := sk.Decrypt(c)
+	if err != nil {
+		return nil, err
+	}
+	half := new(big.Int).Rsh(sk.N, 1)
+	if m.Cmp(half) > 0 {
+		m.Sub(m, sk.N)
+	}
+	return m, nil
+}
+
+// Add returns a ciphertext of a+b given ciphertexts of a and b.
+func (pk *PublicKey) Add(a, b *Ciphertext) *Ciphertext {
+	c := new(big.Int).Mul(a.C, b.C)
+	c.Mod(c, pk.NSquared)
+	return &Ciphertext{C: c}
+}
+
+// AddPlain returns a ciphertext of a+m given a ciphertext of a and a
+// plaintext m (no fresh randomness needed; callers that require semantic
+// security of the sum should Rerandomize).
+func (pk *PublicKey) AddPlain(a *Ciphertext, m *big.Int) *Ciphertext {
+	mm := new(big.Int).Mod(m, pk.N)
+	g := new(big.Int).Mul(mm, pk.N)
+	g.Add(g, one)
+	g.Mod(g, pk.NSquared)
+	c := new(big.Int).Mul(a.C, g)
+	c.Mod(c, pk.NSquared)
+	return &Ciphertext{C: c}
+}
+
+// MulConst returns a ciphertext of γ·a given a ciphertext of a.
+func (pk *PublicKey) MulConst(a *Ciphertext, gamma *big.Int) *Ciphertext {
+	g := new(big.Int).Mod(gamma, pk.N)
+	return &Ciphertext{C: new(big.Int).Exp(a.C, g, pk.NSquared)}
+}
+
+// Rerandomize multiplies by a fresh encryption of zero, making the
+// ciphertext unlinkable to its inputs.
+func (pk *PublicKey) Rerandomize(rnd io.Reader, a *Ciphertext) (*Ciphertext, error) {
+	zero, err := pk.Encrypt(rnd, new(big.Int))
+	if err != nil {
+		return nil, err
+	}
+	return pk.Add(a, zero), nil
+}
+
+// RandomPlaintext draws a uniformly random plaintext in [1, n), used as the
+// masking factor r in the PM protocol's E(r·P(a') + ...).
+func (pk *PublicKey) RandomPlaintext(rnd io.Reader) (*big.Int, error) {
+	m, err := rand.Int(rnd, new(big.Int).Sub(pk.N, one))
+	if err != nil {
+		return nil, fmt.Errorf("paillier: random plaintext: %w", err)
+	}
+	return m.Add(m, one), nil
+}
+
+func (pk *PublicKey) randomUnit(rnd io.Reader) (*big.Int, error) {
+	for {
+		r, err := rand.Int(rnd, pk.N)
+		if err != nil {
+			return nil, fmt.Errorf("paillier: random unit: %w", err)
+		}
+		if r.Sign() == 0 {
+			continue
+		}
+		if new(big.Int).GCD(nil, nil, r, pk.N).Cmp(one) == 0 {
+			return r, nil
+		}
+	}
+}
+
+func (pk *PublicKey) checkCiphertext(c *Ciphertext) error {
+	if c == nil || c.C == nil {
+		return fmt.Errorf("paillier: nil ciphertext")
+	}
+	if c.C.Sign() <= 0 || c.C.Cmp(pk.NSquared) >= 0 {
+		return fmt.Errorf("paillier: ciphertext out of range")
+	}
+	return nil
+}

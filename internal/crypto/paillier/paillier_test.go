@@ -1,0 +1,261 @@
+package paillier
+
+import (
+	"crypto/rand"
+	"math/big"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+var (
+	keyOnce sync.Once
+	tk      *PrivateKey
+)
+
+// testKeypair returns a shared small key (512-bit) so tests stay fast.
+func testKeypair(t testing.TB) *PrivateKey {
+	t.Helper()
+	keyOnce.Do(func() {
+		var err error
+		tk, err = GenerateKey(rand.Reader, 512)
+		if err != nil {
+			panic(err)
+		}
+	})
+	return tk
+}
+
+func TestGenerateKeyValidation(t *testing.T) {
+	if _, err := GenerateKey(rand.Reader, 32); err == nil {
+		t.Error("32-bit modulus accepted")
+	}
+	if _, err := GenerateKey(rand.Reader, 65); err == nil {
+		t.Error("odd modulus size accepted")
+	}
+	k := testKeypair(t)
+	if k.N.BitLen() != 512 {
+		t.Errorf("modulus bits = %d, want 512", k.N.BitLen())
+	}
+}
+
+func TestEncryptDecryptRoundtrip(t *testing.T) {
+	k := testKeypair(t)
+	f := func(m uint32) bool {
+		c, err := k.EncryptInt64(rand.Reader, int64(m))
+		if err != nil {
+			return false
+		}
+		got, err := k.Decrypt(c)
+		return err == nil && got.Int64() == int64(m)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncryptRange(t *testing.T) {
+	k := testKeypair(t)
+	if _, err := k.Encrypt(rand.Reader, big.NewInt(-1)); err == nil {
+		t.Error("negative plaintext accepted by Encrypt")
+	}
+	if _, err := k.Encrypt(rand.Reader, k.N); err == nil {
+		t.Error("plaintext = n accepted")
+	}
+	if _, err := k.EncryptInt64(rand.Reader, -3); err == nil {
+		t.Error("EncryptInt64(-3) accepted")
+	}
+	// Boundary: n-1 must roundtrip.
+	c, err := k.Encrypt(rand.Reader, k.MaxPlaintext())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := k.Decrypt(c)
+	if err != nil || got.Cmp(k.MaxPlaintext()) != 0 {
+		t.Errorf("n-1 roundtrip failed: %v %v", got, err)
+	}
+}
+
+func TestHomomorphicAdd(t *testing.T) {
+	k := testKeypair(t)
+	f := func(a, b uint32) bool {
+		ca, _ := k.EncryptInt64(rand.Reader, int64(a))
+		cb, _ := k.EncryptInt64(rand.Reader, int64(b))
+		sum, err := k.Decrypt(k.Add(ca, cb))
+		return err == nil && sum.Int64() == int64(a)+int64(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHomomorphicAddPlain(t *testing.T) {
+	k := testKeypair(t)
+	ca, _ := k.EncryptInt64(rand.Reader, 100)
+	got, err := k.Decrypt(k.AddPlain(ca, big.NewInt(23)))
+	if err != nil || got.Int64() != 123 {
+		t.Errorf("AddPlain: %v %v", got, err)
+	}
+	// Negative plaintext wraps mod n, recoverable via DecryptSigned.
+	gotNeg, err := k.DecryptSigned(k.AddPlain(ca, big.NewInt(-150)))
+	if err != nil || gotNeg.Int64() != -50 {
+		t.Errorf("AddPlain negative: %v %v", gotNeg, err)
+	}
+}
+
+func TestHomomorphicMulConst(t *testing.T) {
+	k := testKeypair(t)
+	f := func(a uint16, g uint16) bool {
+		ca, _ := k.EncryptInt64(rand.Reader, int64(a))
+		got, err := k.Decrypt(k.MulConst(ca, big.NewInt(int64(g))))
+		return err == nil && got.Int64() == int64(a)*int64(g)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSignedRoundtrip(t *testing.T) {
+	k := testKeypair(t)
+	for _, m := range []int64{0, 1, -1, 123456, -123456} {
+		c, err := k.EncryptSigned(rand.Reader, big.NewInt(m))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := k.DecryptSigned(c)
+		if err != nil || got.Int64() != m {
+			t.Errorf("signed roundtrip %d: got %v, %v", m, got, err)
+		}
+	}
+}
+
+func TestRerandomize(t *testing.T) {
+	k := testKeypair(t)
+	c, _ := k.EncryptInt64(rand.Reader, 7)
+	r, err := k.Rerandomize(rand.Reader, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.C.Cmp(c.C) == 0 {
+		t.Error("rerandomized ciphertext identical")
+	}
+	got, err := k.Decrypt(r)
+	if err != nil || got.Int64() != 7 {
+		t.Errorf("rerandomize changed plaintext: %v %v", got, err)
+	}
+}
+
+func TestEncryptionIsProbabilistic(t *testing.T) {
+	k := testKeypair(t)
+	c1, _ := k.EncryptInt64(rand.Reader, 9)
+	c2, _ := k.EncryptInt64(rand.Reader, 9)
+	if c1.C.Cmp(c2.C) == 0 {
+		t.Error("two encryptions of 9 are identical")
+	}
+}
+
+func TestDecryptValidation(t *testing.T) {
+	k := testKeypair(t)
+	if _, err := k.Decrypt(nil); err == nil {
+		t.Error("nil ciphertext accepted")
+	}
+	if _, err := k.Decrypt(&Ciphertext{C: new(big.Int)}); err == nil {
+		t.Error("zero ciphertext accepted")
+	}
+	if _, err := k.Decrypt(&Ciphertext{C: new(big.Int).Set(k.NSquared)}); err == nil {
+		t.Error("out-of-range ciphertext accepted")
+	}
+}
+
+func TestRandomPlaintextRange(t *testing.T) {
+	k := testKeypair(t)
+	for i := 0; i < 20; i++ {
+		r, err := k.RandomPlaintext(rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Sign() <= 0 || r.Cmp(k.N) >= 0 {
+			t.Errorf("RandomPlaintext out of (0, n): %v", r)
+		}
+	}
+}
+
+// The PM protocol's core identity: Dec(E(r·P(a)+m)) = m when P(a)=0.
+func TestMaskedEvaluationIdentity(t *testing.T) {
+	k := testKeypair(t)
+	// E(P(a)) where P(a) = 0: encrypt zero.
+	cz, _ := k.EncryptInt64(rand.Reader, 0)
+	r, _ := k.RandomPlaintext(rand.Reader)
+	payload := big.NewInt(0xDEADBEEF)
+	masked := k.AddPlain(k.MulConst(cz, r), payload)
+	got, err := k.Decrypt(masked)
+	if err != nil || got.Cmp(payload) != 0 {
+		t.Errorf("masked eval on root: %v %v, want payload", got, err)
+	}
+	// Non-root: r·v + payload with v != 0 is (w.h.p.) not payload.
+	cv, _ := k.EncryptInt64(rand.Reader, 12345)
+	masked2 := k.AddPlain(k.MulConst(cv, r), payload)
+	got2, _ := k.Decrypt(masked2)
+	if got2.Cmp(payload) == 0 {
+		t.Error("masked eval on non-root leaked payload")
+	}
+}
+
+// The CRT fast path must agree with the textbook λ/μ decryption.
+func TestCRTMatchesLambdaDecryption(t *testing.T) {
+	k := testKeypair(t)
+	f := func(m uint64) bool {
+		c, err := k.Encrypt(rand.Reader, new(big.Int).SetUint64(m))
+		if err != nil {
+			return false
+		}
+		crt, err := k.Decrypt(c)
+		if err != nil {
+			return false
+		}
+		return crt.Cmp(k.decryptLambda(c)) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+	// Boundary plaintexts.
+	for _, m := range []*big.Int{big.NewInt(0), big.NewInt(1), k.MaxPlaintext()} {
+		c, err := k.Encrypt(rand.Reader, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		crt, err := k.Decrypt(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if crt.Cmp(k.decryptLambda(c)) != 0 || crt.Cmp(m) != 0 {
+			t.Errorf("CRT/lambda/plaintext mismatch at %v", m)
+		}
+	}
+}
+
+func BenchmarkDecryptCRT(b *testing.B) {
+	k, err := GenerateKey(rand.Reader, 2048)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, _ := k.EncryptInt64(rand.Reader, 123456)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := k.Decrypt(c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecryptLambda(b *testing.B) {
+	k, err := GenerateKey(rand.Reader, 2048)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, _ := k.EncryptInt64(rand.Reader, 123456)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.decryptLambda(c)
+	}
+}

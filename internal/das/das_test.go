@@ -1,0 +1,632 @@
+package das
+
+import (
+	"crypto/rand"
+	"crypto/rsa"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"github.com/secmediation/secmediation/internal/algebra"
+	"github.com/secmediation/secmediation/internal/crypto/hybrid"
+	rel "github.com/secmediation/secmediation/internal/relation"
+)
+
+func intDomain(vals ...int64) []rel.Value {
+	out := make([]rel.Value, len(vals))
+	for i, v := range vals {
+		out[i] = rel.Int(v)
+	}
+	return out
+}
+
+func TestEquiWidthPartitioning(t *testing.T) {
+	dom := intDomain(1, 5, 10, 15, 20)
+	parts, err := PartitionDomain(dom, 4, EquiWidth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parts) != 4 {
+		t.Fatalf("parts = %d, want 4", len(parts))
+	}
+	// Every domain value must be covered by exactly one partition.
+	for _, v := range dom {
+		n := 0
+		for _, p := range parts {
+			if p.Contains(v) {
+				n++
+			}
+		}
+		if n != 1 {
+			t.Errorf("value %v covered by %d partitions", v, n)
+		}
+	}
+	// Range coverage must be contiguous from 1 to 20.
+	if parts[0].Lo.AsInt() != 1 || parts[3].Hi.AsInt() != 20 {
+		t.Errorf("range bounds: %v..%v", parts[0].Lo, parts[3].Hi)
+	}
+	if _, err := PartitionDomain([]rel.Value{rel.String_("x")}, 2, EquiWidth); err == nil {
+		t.Error("equi-width over TEXT accepted")
+	}
+}
+
+func TestEquiDepthPartitioning(t *testing.T) {
+	dom := intDomain(1, 2, 3, 100, 200, 300, 301)
+	parts, err := PartitionDomain(dom, 3, EquiDepth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parts) != 3 {
+		t.Fatalf("parts = %d, want 3", len(parts))
+	}
+	// 7 values into 3 partitions: 3+2+2.
+	if parts[0].Lo.AsInt() != 1 || parts[0].Hi.AsInt() != 3 {
+		t.Errorf("first partition %v..%v, want 1..3", parts[0].Lo, parts[0].Hi)
+	}
+	for _, v := range dom {
+		found := false
+		for _, p := range parts {
+			if p.Contains(v) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("value %v not covered", v)
+		}
+	}
+	// Works for strings too.
+	sdom := []rel.Value{rel.String_("a"), rel.String_("b"), rel.String_("z")}
+	sparts, err := PartitionDomain(sdom, 2, EquiDepth)
+	if err != nil || len(sparts) != 2 {
+		t.Errorf("string equi-depth: %v, %v", sparts, err)
+	}
+}
+
+func TestHashBucketPartitioning(t *testing.T) {
+	dom := intDomain(1, 2, 3, 4, 5, 6, 7, 8, 9, 10)
+	parts, err := PartitionDomain(dom, 4, HashBuckets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	covered := 0
+	for _, v := range dom {
+		for _, p := range parts {
+			if p.Contains(v) {
+				covered++
+				break
+			}
+		}
+	}
+	if covered != len(dom) {
+		t.Errorf("covered %d of %d values", covered, len(dom))
+	}
+	// Same bucket count on two sources must agree on assignment.
+	other, _ := PartitionDomain(intDomain(5, 6, 99), 4, HashBuckets)
+	for _, p := range parts {
+		for _, q := range other {
+			if p.Bucket == q.Bucket && !p.Overlaps(q) {
+				t.Errorf("same-ordinal buckets do not overlap")
+			}
+			if p.Bucket != q.Bucket && p.Overlaps(q) {
+				t.Errorf("different-ordinal buckets overlap")
+			}
+		}
+	}
+}
+
+func TestPartitionDomainValidation(t *testing.T) {
+	if _, err := PartitionDomain(nil, 2, EquiDepth); err == nil {
+		t.Error("empty domain accepted")
+	}
+	if _, err := PartitionDomain(intDomain(1), 0, EquiDepth); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := PartitionDomain(intDomain(1), 1, Strategy(99)); err == nil {
+		t.Error("unknown strategy accepted")
+	}
+	for s, want := range map[Strategy]string{EquiWidth: "equi-width", EquiDepth: "equi-depth", HashBuckets: "hash-buckets", Strategy(9): "unknown"} {
+		if s.String() != want {
+			t.Errorf("Strategy(%d).String() = %q", s, s.String())
+		}
+	}
+}
+
+func TestMorePartitionsThanValues(t *testing.T) {
+	dom := intDomain(4, 7)
+	for _, s := range []Strategy{EquiWidth, EquiDepth} {
+		parts, err := PartitionDomain(dom, 10, s)
+		if err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		if len(parts) > 4 {
+			t.Errorf("%v produced %d partitions for 2 values", s, len(parts))
+		}
+	}
+}
+
+func TestIntervalOverlap(t *testing.T) {
+	iv := func(lo, hi int64) Partition {
+		return Partition{IsInterval: true, Lo: rel.Int(lo), Hi: rel.Int(hi)}
+	}
+	cases := []struct {
+		a, b Partition
+		want bool
+	}{
+		{iv(1, 5), iv(5, 9), true},
+		{iv(1, 5), iv(6, 9), false},
+		{iv(1, 10), iv(3, 4), true},
+		{iv(3, 4), iv(1, 10), true},
+		{iv(1, 2), Partition{IsInterval: true, Lo: rel.String_("a"), Hi: rel.String_("b")}, false},
+	}
+	for _, c := range cases {
+		if got := c.a.Overlaps(c.b); got != c.want {
+			t.Errorf("Overlaps(%v..%v, %v..%v) = %v, want %v", c.a.Lo, c.a.Hi, c.b.Lo, c.b.Hi, got, c.want)
+		}
+	}
+	// Mixed interval/bucket.
+	bucket := Partition{Members: intDomain(3, 30)}
+	if !bucket.Overlaps(iv(1, 5)) || !iv(1, 5).Overlaps(bucket) {
+		t.Error("bucket {3,30} should overlap [1,5]")
+	}
+	if bucket.Overlaps(iv(6, 9)) {
+		t.Error("bucket {3,30} should not overlap [6,9]")
+	}
+	// Bucket-bucket with different counts falls back to member comparison.
+	b1 := Partition{Members: intDomain(1, 2), BucketCount: 3, Bucket: 0}
+	b2 := Partition{Members: intDomain(2, 9), BucketCount: 5, Bucket: 1}
+	if !b1.Overlaps(b2) {
+		t.Error("member-intersecting buckets should overlap")
+	}
+}
+
+func TestIndexTable(t *testing.T) {
+	dom := intDomain(1, 2, 3, 4, 5, 6, 7, 8)
+	parts, _ := PartitionDomain(dom, 3, EquiDepth)
+	it, err := BuildIndexTable("id", parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(it.Entries) != len(parts) {
+		t.Fatalf("entries = %d, want %d", len(it.Entries), len(parts))
+	}
+	seen := map[IndexValue]bool{}
+	for _, e := range it.Entries {
+		if seen[e.Index] {
+			t.Error("duplicate index value")
+		}
+		seen[e.Index] = true
+	}
+	iv, err := it.IndexOf(rel.Int(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !seen[iv] {
+		t.Error("IndexOf returned unknown index")
+	}
+	if _, err := it.IndexOf(rel.Int(99)); err == nil {
+		t.Error("uncovered value indexed")
+	}
+}
+
+func TestOverlapPairsSymmetry(t *testing.T) {
+	d1 := intDomain(1, 2, 3, 10, 11, 12)
+	d2 := intDomain(2, 3, 4, 11, 40)
+	p1, _ := PartitionDomain(d1, 3, EquiDepth)
+	p2, _ := PartitionDomain(d2, 2, EquiDepth)
+	it1, _ := BuildIndexTable("a", p1)
+	it2, _ := BuildIndexTable("a", p2)
+	fwd := OverlapPairs(it1, it2)
+	rev := OverlapPairs(it2, it1)
+	if len(fwd) != len(rev) {
+		t.Errorf("overlap pairs asymmetric: %d vs %d", len(fwd), len(rev))
+	}
+	if len(fwd) == 0 {
+		t.Error("no overlapping partitions for overlapping domains")
+	}
+}
+
+var (
+	keyOnce sync.Once
+	ck      *rsa.PrivateKey
+)
+
+func clientKey(t testing.TB) *rsa.PrivateKey {
+	t.Helper()
+	keyOnce.Do(func() {
+		var err error
+		ck, err = rsa.GenerateKey(rand.Reader, 1024)
+		if err != nil {
+			panic(err)
+		}
+	})
+	return ck
+}
+
+func fixtures(t testing.TB) (*rel.Relation, *rel.Relation) {
+	t.Helper()
+	s1 := rel.MustSchema("R1",
+		rel.Column{Name: "id", Kind: rel.KindInt},
+		rel.Column{Name: "name", Kind: rel.KindString})
+	s2 := rel.MustSchema("R2",
+		rel.Column{Name: "id", Kind: rel.KindInt},
+		rel.Column{Name: "city", Kind: rel.KindString})
+	r1 := rel.MustFromTuples(s1,
+		rel.Tuple{rel.Int(1), rel.String_("a")},
+		rel.Tuple{rel.Int(2), rel.String_("b")},
+		rel.Tuple{rel.Int(5), rel.String_("e")},
+		rel.Tuple{rel.Int(5), rel.String_("e2")},
+		rel.Tuple{rel.Int(9), rel.String_("i")},
+	)
+	r2 := rel.MustFromTuples(s2,
+		rel.Tuple{rel.Int(2), rel.String_("x")},
+		rel.Tuple{rel.Int(5), rel.String_("y")},
+		rel.Tuple{rel.Int(7), rel.String_("z")},
+	)
+	return r1, r2
+}
+
+// End-to-end DAS mechanics: encrypt both relations, build the server query
+// from the index tables, run it, decrypt + post-filter, and compare with a
+// plaintext join.
+func TestDASEndToEnd(t *testing.T) {
+	key := clientKey(t)
+	r1, r2 := fixtures(t)
+	for _, strategy := range []Strategy{EquiWidth, EquiDepth, HashBuckets} {
+		for _, k := range []int{1, 2, 3, 100} {
+			d1, _ := r1.ActiveDomain("id")
+			d2, _ := r2.ActiveDomain("id")
+			p1, err := PartitionDomain(d1, k, strategy)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p2, err := PartitionDomain(d2, k, strategy)
+			if err != nil {
+				t.Fatal(err)
+			}
+			it1, _ := BuildIndexTable("id", p1)
+			it2, _ := BuildIndexTable("id", p2)
+			er1, _, err := EncryptRelation(r1, []string{"id"}, []*IndexTable{it1}, &key.PublicKey)
+			if err != nil {
+				t.Fatal(err)
+			}
+			er2, _, err := EncryptRelation(r2, []string{"id"}, []*IndexTable{it2}, &key.PublicKey)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sq, err := BuildServerQuery([]*IndexTable{it1}, []*IndexTable{it2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := ExecuteServerQuery(er1, er2, sq)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			recv1, err := hybrid.NewReceiver(key, er1.WrappedKey)
+			if err != nil {
+				t.Fatal(err)
+			}
+			recv2, err := hybrid.NewReceiver(key, er2.WrappedKey)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, discarded, err := DecryptServerResult(res, recv1, recv2, r1.Schema(), r2.Schema(), []string{"id"}, []string{"id"})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Expected join: ids 2 (1×1) and 5 (2×1) → 3 tuples.
+			if got.Len() != 3 {
+				t.Errorf("%v k=%d: join size = %d, want 3", strategy, k, got.Len())
+			}
+			// Superset property: server result ≥ exact result.
+			if len(res.Pairs) < got.Len() {
+				t.Errorf("%v k=%d: server result smaller than join", strategy, k)
+			}
+			if len(res.Pairs) != got.Len()+discarded {
+				t.Errorf("%v k=%d: pair accounting broken: %d != %d+%d", strategy, k, len(res.Pairs), got.Len(), discarded)
+			}
+		}
+	}
+}
+
+// Coarser partitioning must never shrink the server result (the paper's
+// granularity trade-off): k=1 yields the full cross product of index
+// matches.
+func TestPartitionGranularityMonotonicity(t *testing.T) {
+	key := clientKey(t)
+	r1, r2 := fixtures(t)
+	d1, _ := r1.ActiveDomain("id")
+	d2, _ := r2.ActiveDomain("id")
+	sizes := map[int]int{}
+	for _, k := range []int{1, 2, 4, 64} {
+		p1, _ := PartitionDomain(d1, k, EquiDepth)
+		p2, _ := PartitionDomain(d2, k, EquiDepth)
+		it1, _ := BuildIndexTable("id", p1)
+		it2, _ := BuildIndexTable("id", p2)
+		er1, _, _ := EncryptRelation(r1, []string{"id"}, []*IndexTable{it1}, &key.PublicKey)
+		er2, _, _ := EncryptRelation(r2, []string{"id"}, []*IndexTable{it2}, &key.PublicKey)
+		sq, _ := BuildServerQuery([]*IndexTable{it1}, []*IndexTable{it2})
+		res, err := ExecuteServerQuery(er1, er2, sq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sizes[k] = len(res.Pairs)
+	}
+	if sizes[1] != r1.Len()*r2.Len() {
+		t.Errorf("k=1 server result = %d, want full product %d", sizes[1], r1.Len()*r2.Len())
+	}
+	if sizes[64] > sizes[4] || sizes[4] > sizes[1] {
+		t.Errorf("superset size not monotone in granularity: %v", sizes)
+	}
+}
+
+func TestEncryptRelationErrors(t *testing.T) {
+	key := clientKey(t)
+	r1, _ := fixtures(t)
+	d1, _ := r1.ActiveDomain("id")
+	p1, _ := PartitionDomain(d1, 2, EquiDepth)
+	it1, _ := BuildIndexTable("id", p1)
+	if _, _, err := EncryptRelation(r1, []string{"ghost"}, []*IndexTable{it1}, &key.PublicKey); err == nil {
+		t.Error("bad join column accepted")
+	}
+	if _, _, err := EncryptRelation(r1, []string{"id"}, nil, &key.PublicKey); err == nil {
+		t.Error("missing index tables accepted")
+	}
+	// Index table missing coverage.
+	itBad := &IndexTable{Attribute: "id"}
+	if _, _, err := EncryptRelation(r1, []string{"id"}, []*IndexTable{itBad}, &key.PublicKey); err == nil {
+		t.Error("uncovering index table accepted")
+	}
+}
+
+// Property: for random int domains, OverlapPairs includes every pair of
+// partitions that actually share an active value.
+func TestOverlapPairsComplete(t *testing.T) {
+	f := func(seedVals []uint8, k1, k2 uint8) bool {
+		if len(seedVals) == 0 {
+			return true
+		}
+		uniq := map[int64]bool{}
+		for _, v := range seedVals {
+			uniq[int64(v%64)] = true
+		}
+		var dom []rel.Value
+		for v := range uniq {
+			dom = append(dom, rel.Int(v))
+		}
+		// sort
+		for i := range dom {
+			for j := i + 1; j < len(dom); j++ {
+				if dom[j].Compare(dom[i]) < 0 {
+					dom[i], dom[j] = dom[j], dom[i]
+				}
+			}
+		}
+		p1, err := PartitionDomain(dom, int(k1%5)+1, EquiDepth)
+		if err != nil {
+			return false
+		}
+		p2, err := PartitionDomain(dom, int(k2%5)+1, EquiWidth)
+		if err != nil {
+			return false
+		}
+		it1, _ := BuildIndexTable("a", p1)
+		it2, _ := BuildIndexTable("a", p2)
+		pairs := OverlapPairs(it1, it2)
+		inPairs := map[IndexPair]bool{}
+		for _, p := range pairs {
+			inPairs[p] = true
+		}
+		// Every shared value's partition pair must be admissible.
+		for _, v := range dom {
+			i1, err1 := it1.IndexOf(v)
+			i2, err2 := it2.IndexOf(v)
+			if err1 != nil || err2 != nil {
+				return false
+			}
+			if !inPairs[IndexPair{I1: i1, I2: i2}] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Multi-attribute DAS (paper §8 future work): one index table per join
+// attribute, CondS a conjunction of per-attribute disjunctions.
+func TestDASMultiAttribute(t *testing.T) {
+	key := clientKey(t)
+	s1 := rel.MustSchema("R1",
+		rel.Column{Name: "id", Kind: rel.KindInt},
+		rel.Column{Name: "dept", Kind: rel.KindString},
+		rel.Column{Name: "name", Kind: rel.KindString})
+	s2 := rel.MustSchema("R2",
+		rel.Column{Name: "id", Kind: rel.KindInt},
+		rel.Column{Name: "dept", Kind: rel.KindString},
+		rel.Column{Name: "city", Kind: rel.KindString})
+	r1 := rel.MustFromTuples(s1,
+		rel.Tuple{rel.Int(1), rel.String_("a"), rel.String_("n1")},
+		rel.Tuple{rel.Int(1), rel.String_("b"), rel.String_("n2")},
+		rel.Tuple{rel.Int(2), rel.String_("a"), rel.String_("n3")},
+	)
+	r2 := rel.MustFromTuples(s2,
+		rel.Tuple{rel.Int(1), rel.String_("a"), rel.String_("c1")},
+		rel.Tuple{rel.Int(1), rel.String_("c"), rel.String_("c2")},
+		rel.Tuple{rel.Int(2), rel.String_("b"), rel.String_("c3")},
+	)
+	buildITs := func(r *rel.Relation) []*IndexTable {
+		d1, _ := r.ActiveDomain("id")
+		d2, _ := r.ActiveDomain("dept")
+		p1, err := PartitionDomain(d1, 2, EquiDepth)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p2, err := PartitionDomain(d2, 2, HashBuckets)
+		if err != nil {
+			t.Fatal(err)
+		}
+		it1, _ := BuildIndexTable("id", p1)
+		it2, _ := BuildIndexTable("dept", p2)
+		return []*IndexTable{it1, it2}
+	}
+	its1 := buildITs(r1)
+	its2 := buildITs(r2)
+	cols := []string{"id", "dept"}
+	er1, _, err := EncryptRelation(r1, cols, its1, &ck.PublicKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	er2, _, err := EncryptRelation(r2, cols, its2, &ck.PublicKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sq, err := BuildServerQuery(its1, its2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ExecuteServerQuery(er1, er2, sq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recv1, _ := hybrid.NewReceiver(key, er1.WrappedKey)
+	recv2, _ := hybrid.NewReceiver(key, er2.WrappedKey)
+	got, _, err := DecryptServerResult(res, recv1, recv2, s1, s2, cols, cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only (1, "a") matches on both attributes.
+	if got.Len() != 1 {
+		t.Errorf("multi-attr join size = %d, want 1\n%v", got.Len(), got)
+	}
+}
+
+func TestExecuteServerQueryValidation(t *testing.T) {
+	if _, err := ExecuteServerQuery(&EncryptedRelation{}, &EncryptedRelation{}, ServerQuery{}); err == nil {
+		t.Error("empty server query accepted")
+	}
+	// Tuples with fewer index entries than query attributes are invalid
+	// (extra entries are fine: they carry pushed-down filter columns).
+	q2 := ServerQuery{PerAttr: [][]IndexPair{{{I1: 1, I2: 1}}, {{I1: 2, I2: 2}}}}
+	short := &EncryptedRelation{Tuples: []EncTuple{{Index: []IndexValue{1}}}}
+	if _, err := ExecuteServerQuery(short, &EncryptedRelation{}, q2); err == nil {
+		t.Error("short index vector accepted (R1)")
+	}
+	ok1 := &EncryptedRelation{Tuples: []EncTuple{{Index: []IndexValue{1, 2}}}}
+	if _, err := ExecuteServerQuery(ok1, short, q2); err == nil {
+		t.Error("short index vector accepted (R2)")
+	}
+	// Negative filter attribute is rejected.
+	q3 := ServerQuery{PerAttr: [][]IndexPair{{{I1: 1, I2: 1}}}, Filters1: []IndexFilter{{Attr: -1}}}
+	if _, err := ExecuteServerQuery(ok1, ok1, q3); err == nil {
+		t.Error("negative filter attr accepted")
+	}
+}
+
+func TestBuildServerQueryValidation(t *testing.T) {
+	if _, err := BuildServerQuery(nil, nil); err == nil {
+		t.Error("empty table lists accepted")
+	}
+	if _, err := BuildServerQuery([]*IndexTable{{}}, nil); err == nil {
+		t.Error("mismatched table lists accepted")
+	}
+}
+
+func TestMaySatisfyIntervals(t *testing.T) {
+	iv := Partition{IsInterval: true, Lo: rel.Int(10), Hi: rel.Int(20)}
+	cases := []struct {
+		op    algebra.CompareOp
+		bound int64
+		want  bool
+	}{
+		{algebra.OpEq, 15, true}, {algebra.OpEq, 9, false}, {algebra.OpEq, 21, false},
+		{algebra.OpEq, 10, true}, {algebra.OpEq, 20, true},
+		{algebra.OpLt, 10, false}, {algebra.OpLt, 11, true},
+		{algebra.OpLe, 9, false}, {algebra.OpLe, 10, true},
+		{algebra.OpGt, 20, false}, {algebra.OpGt, 19, true},
+		{algebra.OpGe, 21, false}, {algebra.OpGe, 20, true},
+		{algebra.OpNe, 15, true},
+	}
+	for _, c := range cases {
+		if got := iv.MaySatisfy(c.op, rel.Int(c.bound)); got != c.want {
+			t.Errorf("[10,20] MaySatisfy(%v, %d) = %v, want %v", c.op, c.bound, got, c.want)
+		}
+	}
+	// Degenerate interval [c,c] with != c is unsatisfiable.
+	single := Partition{IsInterval: true, Lo: rel.Int(5), Hi: rel.Int(5)}
+	if single.MaySatisfy(algebra.OpNe, rel.Int(5)) {
+		t.Error("[5,5] may satisfy != 5")
+	}
+	// Kind mismatch is unsatisfiable.
+	if iv.MaySatisfy(algebra.OpEq, rel.String_("x")) {
+		t.Error("kind-mismatched bound satisfiable")
+	}
+}
+
+func TestMaySatisfyBuckets(t *testing.T) {
+	b := Partition{Members: intDomain(3, 17, 40)}
+	if !b.MaySatisfy(algebra.OpLt, rel.Int(5)) {
+		t.Error("bucket with 3 should satisfy < 5")
+	}
+	if b.MaySatisfy(algebra.OpGt, rel.Int(40)) {
+		t.Error("bucket max 40 should not satisfy > 40")
+	}
+	if !b.MaySatisfy(algebra.OpEq, rel.Int(17)) || b.MaySatisfy(algebra.OpEq, rel.Int(18)) {
+		t.Error("bucket equality satisfiability wrong")
+	}
+}
+
+func TestAllowedIndexes(t *testing.T) {
+	dom := intDomain(1, 2, 3, 4, 5, 6, 7, 8, 9, 10)
+	parts, _ := PartitionDomain(dom, 5, EquiDepth) // [1,2][3,4][5,6][7,8][9,10]
+	it, _ := BuildIndexTable("x", parts)
+	allowed := it.AllowedIndexes(algebra.OpLe, rel.Int(4))
+	if len(allowed) != 2 {
+		t.Errorf("AllowedIndexes(<=4) = %d partitions, want 2", len(allowed))
+	}
+	all := it.AllowedIndexes(algebra.OpNe, rel.Int(3))
+	if len(all) != 5 {
+		t.Errorf("AllowedIndexes(!=3) = %d, want 5", len(all))
+	}
+}
+
+// Server-side filters must never lose true results (soundness of the
+// over-approximation).
+func TestServerQueryFilterSoundness(t *testing.T) {
+	key := clientKey(t)
+	r1, r2 := fixtures(t)
+	d1, _ := r1.ActiveDomain("id")
+	d2, _ := r2.ActiveDomain("id")
+	p1, _ := PartitionDomain(d1, 3, EquiDepth)
+	p2, _ := PartitionDomain(d2, 3, EquiDepth)
+	it1, _ := BuildIndexTable("id", p1)
+	it2, _ := BuildIndexTable("id", p2)
+	er1, _, _ := EncryptRelation(r1, []string{"id"}, []*IndexTable{it1}, &key.PublicKey)
+	er2, _, _ := EncryptRelation(r2, []string{"id"}, []*IndexTable{it2}, &key.PublicKey)
+	sq, _ := BuildServerQuery([]*IndexTable{it1}, []*IndexTable{it2})
+	// Push down "R1.id >= 5": ids 5,5,9 remain on the left.
+	sq.Filters1 = []IndexFilter{{Attr: 0, Allowed: it1.AllowedIndexes(algebra.OpGe, rel.Int(5))}}
+	res, err := ExecuteServerQuery(er1, er2, sq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recv1, _ := hybrid.NewReceiver(key, er1.WrappedKey)
+	recv2, _ := hybrid.NewReceiver(key, er2.WrappedKey)
+	got, _, err := DecryptServerResult(res, recv1, recv2, r1.Schema(), r2.Schema(), []string{"id"}, []string{"id"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// True answer for id>=5: the two id=5 tuples joining id=5 on the right.
+	count := 0
+	for _, tup := range got.Tuples() {
+		i := got.Schema().IndexOf("R1.id")
+		if tup[i].AsInt() >= 5 {
+			count++
+		}
+	}
+	if count != 2 {
+		t.Errorf("filtered join kept %d id>=5 tuples, want 2\n%v", count, got)
+	}
+}

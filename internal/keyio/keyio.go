@@ -1,0 +1,105 @@
+// Package keyio provides PEM serialization for the RSA keys used by the
+// deployment binaries (cmd/mmmca, cmd/medclient, cmd/datasource): private
+// keys in PKCS#8, public keys in PKIX form.
+package keyio
+
+import (
+	"crypto/rsa"
+	"crypto/x509"
+	"encoding/pem"
+	"fmt"
+	"os"
+)
+
+const (
+	privateBlock = "PRIVATE KEY"
+	publicBlock  = "PUBLIC KEY"
+)
+
+// MarshalPrivateKey encodes an RSA private key as PKCS#8 PEM.
+func MarshalPrivateKey(key *rsa.PrivateKey) ([]byte, error) {
+	der, err := x509.MarshalPKCS8PrivateKey(key)
+	if err != nil {
+		return nil, fmt.Errorf("keyio: marshal private key: %w", err)
+	}
+	return pem.EncodeToMemory(&pem.Block{Type: privateBlock, Bytes: der}), nil
+}
+
+// ParsePrivateKey decodes a PKCS#8 PEM RSA private key.
+func ParsePrivateKey(data []byte) (*rsa.PrivateKey, error) {
+	block, _ := pem.Decode(data)
+	if block == nil || block.Type != privateBlock {
+		return nil, fmt.Errorf("keyio: no %s PEM block", privateBlock)
+	}
+	key, err := x509.ParsePKCS8PrivateKey(block.Bytes)
+	if err != nil {
+		return nil, fmt.Errorf("keyio: parse private key: %w", err)
+	}
+	rsaKey, ok := key.(*rsa.PrivateKey)
+	if !ok {
+		return nil, fmt.Errorf("keyio: private key is %T, want RSA", key)
+	}
+	return rsaKey, nil
+}
+
+// MarshalPublicKey encodes an RSA public key as PKIX PEM.
+func MarshalPublicKey(key *rsa.PublicKey) ([]byte, error) {
+	der, err := x509.MarshalPKIXPublicKey(key)
+	if err != nil {
+		return nil, fmt.Errorf("keyio: marshal public key: %w", err)
+	}
+	return pem.EncodeToMemory(&pem.Block{Type: publicBlock, Bytes: der}), nil
+}
+
+// ParsePublicKey decodes a PKIX PEM RSA public key.
+func ParsePublicKey(data []byte) (*rsa.PublicKey, error) {
+	block, _ := pem.Decode(data)
+	if block == nil || block.Type != publicBlock {
+		return nil, fmt.Errorf("keyio: no %s PEM block", publicBlock)
+	}
+	key, err := x509.ParsePKIXPublicKey(block.Bytes)
+	if err != nil {
+		return nil, fmt.Errorf("keyio: parse public key: %w", err)
+	}
+	rsaKey, ok := key.(*rsa.PublicKey)
+	if !ok {
+		return nil, fmt.Errorf("keyio: public key is %T, want RSA", key)
+	}
+	return rsaKey, nil
+}
+
+// WritePrivateKeyFile writes a private key PEM with owner-only permissions.
+func WritePrivateKeyFile(path string, key *rsa.PrivateKey) error {
+	data, err := MarshalPrivateKey(key)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o600)
+}
+
+// ReadPrivateKeyFile loads a private key PEM file.
+func ReadPrivateKeyFile(path string) (*rsa.PrivateKey, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("keyio: %w", err)
+	}
+	return ParsePrivateKey(data)
+}
+
+// WritePublicKeyFile writes a public key PEM.
+func WritePublicKeyFile(path string, key *rsa.PublicKey) error {
+	data, err := MarshalPublicKey(key)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// ReadPublicKeyFile loads a public key PEM file.
+func ReadPublicKeyFile(path string) (*rsa.PublicKey, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("keyio: %w", err)
+	}
+	return ParsePublicKey(data)
+}

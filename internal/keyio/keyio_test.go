@@ -1,0 +1,79 @@
+package keyio
+
+import (
+	"crypto/rand"
+	"crypto/rsa"
+	"path/filepath"
+	"testing"
+)
+
+func TestKeyRoundtrips(t *testing.T) {
+	key, err := rsa.GenerateKey(rand.Reader, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	priv, err := MarshalPrivateKey(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotPriv, err := ParsePrivateKey(priv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotPriv.N.Cmp(key.N) != 0 {
+		t.Error("private key roundtrip mismatch")
+	}
+	pub, err := MarshalPublicKey(&key.PublicKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotPub, err := ParsePublicKey(pub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotPub.N.Cmp(key.N) != 0 {
+		t.Error("public key roundtrip mismatch")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	if _, err := ParsePrivateKey([]byte("garbage")); err == nil {
+		t.Error("garbage private key parsed")
+	}
+	if _, err := ParsePublicKey([]byte("garbage")); err == nil {
+		t.Error("garbage public key parsed")
+	}
+	// Wrong block type.
+	key, _ := rsa.GenerateKey(rand.Reader, 1024)
+	pub, _ := MarshalPublicKey(&key.PublicKey)
+	if _, err := ParsePrivateKey(pub); err == nil {
+		t.Error("public PEM parsed as private key")
+	}
+}
+
+func TestFileRoundtrips(t *testing.T) {
+	dir := t.TempDir()
+	key, _ := rsa.GenerateKey(rand.Reader, 1024)
+	privPath := filepath.Join(dir, "key.pem")
+	pubPath := filepath.Join(dir, "key.pub.pem")
+	if err := WritePrivateKeyFile(privPath, key); err != nil {
+		t.Fatal(err)
+	}
+	if err := WritePublicKeyFile(pubPath, &key.PublicKey); err != nil {
+		t.Fatal(err)
+	}
+	gotPriv, err := ReadPrivateKeyFile(privPath)
+	if err != nil || gotPriv.N.Cmp(key.N) != 0 {
+		t.Errorf("private file roundtrip: %v", err)
+	}
+	gotPub, err := ReadPublicKeyFile(pubPath)
+	if err != nil || gotPub.N.Cmp(key.N) != 0 {
+		t.Errorf("public file roundtrip: %v", err)
+	}
+	if _, err := ReadPrivateKeyFile(filepath.Join(dir, "missing")); err == nil {
+		t.Error("missing file read")
+	}
+	if _, err := ReadPublicKeyFile(filepath.Join(dir, "missing")); err == nil {
+		t.Error("missing file read")
+	}
+}

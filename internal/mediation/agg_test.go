@@ -1,0 +1,153 @@
+package mediation
+
+import (
+	"crypto/rsa"
+	"math"
+	"testing"
+
+	"github.com/secmediation/secmediation/internal/algebra"
+	"github.com/secmediation/secmediation/internal/credential"
+	"github.com/secmediation/secmediation/internal/leakage"
+	rel "github.com/secmediation/secmediation/internal/relation"
+)
+
+func aggNetwork(t testing.TB, ledger *leakage.Ledger) *Network {
+	t.Helper()
+	f := getFixture(t)
+	schema := rel.MustSchema("Claims",
+		rel.Column{Name: "id", Kind: rel.KindInt},
+		rel.Column{Name: "amount", Kind: rel.KindFloat},
+		rel.Column{Name: "units", Kind: rel.KindInt},
+		rel.Column{Name: "payer", Kind: rel.KindString})
+	claims := rel.MustFromTuples(schema,
+		rel.Tuple{rel.Int(1), rel.Float(10.5), rel.Int(3), rel.String_("a")},
+		rel.Tuple{rel.Int(2), rel.Float(-2.25), rel.Int(4), rel.String_("b")},
+		rel.Tuple{rel.Int(3), rel.Float(100), rel.Int(-1), rel.String_("a")},
+		rel.Tuple{rel.Int(4), rel.Float(0.125), rel.Int(10), rel.String_("c")},
+	)
+	src := &Source{Name: "Insurer", Catalog: algebra.MapCatalog{"Claims": claims},
+		Policies:   map[string]*credential.Policy{"Claims": policyFor("Claims")},
+		TrustedCAs: []*rsa.PublicKey{f.ca.PublicKey()}, Ledger: ledger}
+	f.client.Ledger = ledger
+	n, err := NewNetwork(f.client, &Mediator{Ledger: ledger}, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func oneValue(t *testing.T, n *Network, sql string) rel.Value {
+	t.Helper()
+	res, err := n.Query(sql, ProtocolPM, fastParams())
+	if err != nil {
+		t.Fatalf("%s: %v", sql, err)
+	}
+	if res.Len() != 1 || res.Schema().Arity() != 1 {
+		t.Fatalf("%s: result shape %dx%d", sql, res.Len(), res.Schema().Arity())
+	}
+	return res.Tuple(0)[0]
+}
+
+func TestAggregateSumFloat(t *testing.T) {
+	n := aggNetwork(t, nil)
+	got := oneValue(t, n, "SELECT SUM(amount) FROM Claims")
+	want := 10.5 - 2.25 + 100 + 0.125
+	if math.Abs(got.AsFloat()-want) > 1e-6 {
+		t.Errorf("SUM(amount) = %v, want %v", got, want)
+	}
+}
+
+func TestAggregateSumIntWithNegatives(t *testing.T) {
+	n := aggNetwork(t, nil)
+	got := oneValue(t, n, "SELECT SUM(units) FROM Claims")
+	if got.AsInt() != 16 {
+		t.Errorf("SUM(units) = %v, want 16", got)
+	}
+}
+
+func TestAggregateCountAndAvg(t *testing.T) {
+	n := aggNetwork(t, nil)
+	if got := oneValue(t, n, "SELECT COUNT(*) FROM Claims"); got.AsInt() != 4 {
+		t.Errorf("COUNT(*) = %v", got)
+	}
+	got := oneValue(t, n, "SELECT AVG(units) FROM Claims")
+	if math.Abs(got.AsFloat()-4.0) > 1e-9 {
+		t.Errorf("AVG(units) = %v, want 4", got)
+	}
+	gotF := oneValue(t, n, "SELECT AVG(amount) FROM Claims")
+	want := (10.5 - 2.25 + 100 + 0.125) / 4
+	if math.Abs(gotF.AsFloat()-want) > 1e-6 {
+		t.Errorf("AVG(amount) = %v, want %v", gotF, want)
+	}
+}
+
+func TestAggregateWithWhere(t *testing.T) {
+	n := aggNetwork(t, nil)
+	got := oneValue(t, n, "SELECT SUM(units) FROM Claims WHERE payer = 'a'")
+	if got.AsInt() != 2 {
+		t.Errorf("filtered SUM = %v, want 2", got)
+	}
+	if got := oneValue(t, n, "SELECT COUNT(*) FROM Claims WHERE units > 3"); got.AsInt() != 2 {
+		t.Errorf("filtered COUNT = %v, want 2", got)
+	}
+}
+
+// The mediator folds ciphertexts without decrypting: it learns only the
+// row count and applies only homomorphic additions.
+func TestAggregateMediatorLeakage(t *testing.T) {
+	ledger := leakage.NewLedger()
+	n := aggNetwork(t, ledger)
+	if got := oneValue(t, n, "SELECT SUM(units) FROM Claims"); got.AsInt() != 16 {
+		t.Fatalf("SUM = %v", got)
+	}
+	if v, ok := ledger.Observed(leakage.PartyMediator, "|R|"); !ok || v != 4 {
+		t.Errorf("mediator |R| = %d,%v", v, ok)
+	}
+	if c := ledger.PrimitiveCount(leakage.PartyMediator, "homomorphic-addition"); c != 4 {
+		t.Errorf("mediator additions = %d, want 4", c)
+	}
+	if c := ledger.PrimitiveCount(leakage.PartySource("Insurer"), "homomorphic-encryption"); c != 4 {
+		t.Errorf("source encryptions = %d, want 4", c)
+	}
+	// The mediator must never apply a decryption primitive.
+	for _, p := range ledger.Primitives(leakage.PartyMediator) {
+		if p == "homomorphic-decryption" {
+			t.Error("mediator decrypted")
+		}
+	}
+}
+
+func TestAggregateErrors(t *testing.T) {
+	n := aggNetwork(t, nil)
+	cases := []string{
+		"SELECT SUM(payer) FROM Claims",   // TEXT column
+		"SELECT SUM(ghost) FROM Claims",   // unknown column
+		"SELECT SUM(amount) FROM Unknown", // unknown relation
+	}
+	for _, sql := range cases {
+		if _, err := n.Query(sql, ProtocolPM, fastParams()); err == nil {
+			t.Errorf("%s succeeded", sql)
+		}
+	}
+}
+
+func TestFixedPoint(t *testing.T) {
+	if v, err := fixedPoint(rel.Int(-7)); err != nil || v != -7 {
+		t.Errorf("fixedPoint(INT): %d, %v", v, err)
+	}
+	if v, err := fixedPoint(rel.Float(1.5)); err != nil || v != 1500000 {
+		t.Errorf("fixedPoint(FLOAT): %d, %v", v, err)
+	}
+	if _, err := fixedPoint(rel.Float(math.NaN())); err == nil {
+		t.Error("NaN accepted")
+	}
+	if _, err := fixedPoint(rel.Float(math.Inf(1))); err == nil {
+		t.Error("Inf accepted")
+	}
+	if _, err := fixedPoint(rel.Float(1e300)); err == nil {
+		t.Error("overflowing float accepted")
+	}
+	if _, err := fixedPoint(rel.Bool(true)); err == nil {
+		t.Error("BOOL accepted")
+	}
+}

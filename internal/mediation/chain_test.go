@@ -1,0 +1,123 @@
+package mediation
+
+import (
+	"crypto/rsa"
+	"testing"
+
+	"github.com/secmediation/secmediation/internal/algebra"
+	"github.com/secmediation/secmediation/internal/credential"
+	rel "github.com/secmediation/secmediation/internal/relation"
+	"github.com/secmediation/secmediation/internal/sqlparse"
+)
+
+// chainNetwork builds three sources: People(pid,name), Jobs(pid,role),
+// Salaries(role,pay).
+func chainNetwork(t testing.TB) (*Network, *rel.Relation, *rel.Relation, *rel.Relation) {
+	t.Helper()
+	f := getFixture(t)
+	people := rel.MustFromTuples(rel.MustSchema("People",
+		rel.Column{Name: "pid", Kind: rel.KindInt},
+		rel.Column{Name: "name", Kind: rel.KindString}),
+		rel.Tuple{rel.Int(1), rel.String_("ada")},
+		rel.Tuple{rel.Int(2), rel.String_("bob")},
+		rel.Tuple{rel.Int(3), rel.String_("cyd")})
+	jobs := rel.MustFromTuples(rel.MustSchema("Jobs",
+		rel.Column{Name: "pid", Kind: rel.KindInt},
+		rel.Column{Name: "role", Kind: rel.KindString}),
+		rel.Tuple{rel.Int(1), rel.String_("dev")},
+		rel.Tuple{rel.Int(2), rel.String_("ops")},
+		rel.Tuple{rel.Int(2), rel.String_("dev")},
+		rel.Tuple{rel.Int(9), rel.String_("dev")})
+	salaries := rel.MustFromTuples(rel.MustSchema("Salaries",
+		rel.Column{Name: "role", Kind: rel.KindString},
+		rel.Column{Name: "pay", Kind: rel.KindInt}),
+		rel.Tuple{rel.String_("dev"), rel.Int(100)},
+		rel.Tuple{rel.String_("ops"), rel.Int(90)},
+		rel.Tuple{rel.String_("pm"), rel.Int(95)})
+	mk := func(name, relName string, r *rel.Relation) *Source {
+		return &Source{Name: name, Catalog: algebra.MapCatalog{relName: r},
+			Policies:   map[string]*credential.Policy{relName: policyFor(relName)},
+			TrustedCAs: []*rsa.PublicKey{f.ca.PublicKey()}}
+	}
+	n, err := NewNetwork(f.client, &Mediator{},
+		mk("S1", "People", people), mk("S2", "Jobs", jobs), mk("S3", "Salaries", salaries))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n, people, jobs, salaries
+}
+
+// Plaintext truth for the three-way chain.
+func chainTruth(t testing.TB, people, jobs, salaries *rel.Relation) *rel.Relation {
+	t.Helper()
+	pj, err := algebra.NaturalJoin(people, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pjs, err := algebra.NaturalJoin(pj, salaries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pjs
+}
+
+func TestChainedNaturalJoins(t *testing.T) {
+	n, people, jobs, salaries := chainNetwork(t)
+	want := chainTruth(t, people, jobs, salaries)
+	for _, proto := range []Protocol{ProtocolPlaintext, ProtocolCommutative, ProtocolDAS, ProtocolPM} {
+		got, err := n.Query("SELECT * FROM People NATURAL JOIN Jobs NATURAL JOIN Salaries", proto, fastParams())
+		if err != nil {
+			t.Fatalf("%v: %v", proto, err)
+		}
+		if got.Len() != want.Len() {
+			t.Errorf("%v: chain size %d, want %d\n%v", proto, got.Len(), want.Len(), got)
+		}
+	}
+}
+
+func TestChainedOnJoins(t *testing.T) {
+	n, _, _, _ := chainNetwork(t)
+	got, err := n.Query(
+		"SELECT name, pay FROM People JOIN Jobs ON People.pid = Jobs.pid JOIN Salaries ON Jobs.role = Salaries.role WHERE pay >= 100",
+		ProtocolCommutative, fastParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// dev rows only: ada(dev,100), bob(dev,100).
+	if got.Len() != 2 || got.Schema().Arity() != 2 {
+		t.Errorf("chain with ON + WHERE: %d×%d\n%v", got.Len(), got.Schema().Arity(), got)
+	}
+}
+
+func TestChainedDistinct(t *testing.T) {
+	n, _, _, _ := chainNetwork(t)
+	got, err := n.Query(
+		"SELECT DISTINCT role FROM People NATURAL JOIN Jobs NATURAL JOIN Salaries",
+		ProtocolCommutative, fastParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 2 { // dev, ops
+		t.Errorf("distinct roles = %d, want 2\n%v", got.Len(), got)
+	}
+}
+
+func TestChainParserRendering(t *testing.T) {
+	in := "SELECT * FROM A JOIN B ON A.x = B.x JOIN C ON B.y = C.y NATURAL JOIN D"
+	q, err := parseChain(t, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.MoreJoins) != 2 || q.MoreJoins[0].Relation != "C" || !q.MoreJoins[1].Natural {
+		t.Errorf("chain parse: %+v", q.MoreJoins)
+	}
+	if q.String() != in {
+		t.Errorf("chain rendering: %q", q.String())
+	}
+}
+
+// parseChain parses SQL for chain-structure assertions.
+func parseChain(t testing.TB, sql string) (*sqlparse.Query, error) {
+	t.Helper()
+	return sqlparse.Parse(sql)
+}

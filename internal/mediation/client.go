@@ -1,0 +1,135 @@
+package mediation
+
+import (
+	"crypto/rand"
+	"crypto/rsa"
+	"fmt"
+	"sync"
+
+	"github.com/secmediation/secmediation/internal/algebra"
+	"github.com/secmediation/secmediation/internal/credential"
+	"github.com/secmediation/secmediation/internal/crypto/paillier"
+	"github.com/secmediation/secmediation/internal/leakage"
+	"github.com/secmediation/secmediation/internal/relation"
+	"github.com/secmediation/secmediation/internal/sqlparse"
+	"github.com/secmediation/secmediation/internal/transport"
+)
+
+// Client is the querying party: it holds the private decryption key whose
+// public half is bound into its credentials, issues global queries, and
+// performs the client side of each delivery phase (decryption, the DAS
+// query translation, PM matching, result assembly).
+type Client struct {
+	// PrivateKey is the hybrid-encryption private key matching the public
+	// key in the credentials.
+	PrivateKey *rsa.PrivateKey
+	// Credentials is the credential set CR attached to queries.
+	Credentials credential.Set
+	// Ledger optionally records leakage and primitive usage.
+	Ledger *leakage.Ledger
+
+	// homKey caches the Paillier key pair for PM queries; homMu guards it
+	// so concurrent sessions share one key generation.
+	homMu  sync.Mutex
+	homKey *paillier.PrivateKey
+}
+
+// NewClient creates a client with a fresh hybrid key pair. Callers
+// typically then have a CA issue credentials for
+// &client.PrivateKey.PublicKey.
+func NewClient() (*Client, error) {
+	key, err := rsa.GenerateKey(rand.Reader, 2048)
+	if err != nil {
+		return nil, fmt.Errorf("mediation: client key: %w", err)
+	}
+	return &Client{PrivateKey: key}, nil
+}
+
+// HomomorphicKey returns (generating on first use) the client's Paillier
+// key pair for the PM protocol.
+func (c *Client) HomomorphicKey(bits int) (*paillier.PrivateKey, error) {
+	c.homMu.Lock()
+	defer c.homMu.Unlock()
+	if c.homKey == nil || c.homKey.N.BitLen() != bits {
+		k, err := paillier.GenerateKey(rand.Reader, bits)
+		if err != nil {
+			return nil, err
+		}
+		c.homKey = k
+	}
+	return c.homKey, nil
+}
+
+// Query runs one global query through the mediator reachable over conn and
+// returns the global result. This drives Listing 1 step 1 plus the client
+// side of the selected delivery phase.
+func (c *Client) Query(conn transport.Conn, sql string, proto Protocol, params Params) (*relation.Relation, error) {
+	params = params.withDefaults()
+	q, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	req := Request{SQL: sql, Credentials: c.Credentials, Protocol: proto, Params: params}
+	if proto == ProtocolPM || q.Aggregate != nil {
+		hk, err := c.HomomorphicKey(params.PaillierBits)
+		if err != nil {
+			return nil, err
+		}
+		req.HomomorphicKey = &hk.PublicKey
+	}
+	if err := sendMsg(conn, msgRequest, req); err != nil {
+		return nil, err
+	}
+	if q.Aggregate != nil {
+		return c.runAggregate(conn, q, params)
+	}
+	if q.UnionWith != "" {
+		return c.runUnion(conn, q)
+	}
+	watch := newStopwatch(c.Ledger, leakage.PartyClient)
+	var joined *relation.Relation
+	var schema2 relation.Schema
+	var joinCols2 []string
+	switch proto {
+	case ProtocolPlaintext:
+		joined, schema2, joinCols2, err = c.runPlaintext(conn)
+	case ProtocolMobileCode:
+		joined, schema2, joinCols2, err = c.runMobileCode(conn, watch)
+	case ProtocolDAS:
+		joined, schema2, joinCols2, err = c.runDAS(conn, q, params, watch)
+	case ProtocolCommutative:
+		joined, schema2, joinCols2, err = c.runCommutative(conn, watch)
+	case ProtocolPM:
+		joined, schema2, joinCols2, err = c.runPM(conn, params, watch)
+	default:
+		err = fmt.Errorf("mediation: unknown protocol %d", proto)
+	}
+	if err != nil {
+		return nil, err
+	}
+	c.recordTraffic(conn)
+	return postProcess(q, joined, schema2, joinCols2)
+}
+
+func (c *Client) recordTraffic(conn transport.Conn) {
+	if c.Ledger == nil {
+		return
+	}
+	c.Ledger.Observe(leakage.PartyClient, "bytes-sent", conn.Stats().BytesSent())
+	c.Ledger.Observe(leakage.PartyClient, "bytes-received", conn.Stats().BytesRecv())
+	c.Ledger.Observe(leakage.PartyClient, "interactions-with-mediator", conn.Stats().MsgsSent()+conn.Stats().MsgsRecv())
+}
+
+// Intersect computes the set intersection of two relations with identical
+// schemas through the secure mediation machinery — the second operation of
+// Agrawal et al.'s framework (paper Section 4). It reduces to a NATURAL
+// JOIN over all columns (same-schema natural join = bag intersection)
+// followed by duplicate elimination; with the commutative protocol the
+// client receives exactly the common tuples.
+func (c *Client) Intersect(conn transport.Conn, rel1, rel2 string, params Params) (*relation.Relation, error) {
+	res, err := c.Query(conn, "SELECT * FROM "+rel1+" NATURAL JOIN "+rel2, ProtocolCommutative, params)
+	if err != nil {
+		return nil, err
+	}
+	return algebra.Distinct(res), nil
+}

@@ -1,0 +1,368 @@
+package mediation
+
+import (
+	"crypto/rand"
+	"crypto/rsa"
+	"fmt"
+	"math/big"
+
+	"github.com/secmediation/secmediation/internal/crypto/commutative"
+	"github.com/secmediation/secmediation/internal/crypto/groups"
+	"github.com/secmediation/secmediation/internal/crypto/hybrid"
+	"github.com/secmediation/secmediation/internal/crypto/oracle"
+	"github.com/secmediation/secmediation/internal/leakage"
+	"github.com/secmediation/secmediation/internal/relation"
+	"github.com/secmediation/secmediation/internal/transport"
+)
+
+// commItem is one message component ⟨f_e(h(a)), encrypt(Tup(a))⟩. In the
+// footnote-1 ID mode the mediator strips Payload before forwarding and
+// sets ID so the opposite source handles fixed-length items only.
+type commItem struct {
+	// Hash is f_e(h(a)) (after step 3) or f_e1(f_e2(h(a))) (after the
+	// cross-encryption steps 5/6).
+	Hash *big.Int
+	// Payload is encrypt(Tup(a)) — the sealed, gob-encoded tuple set.
+	Payload []byte
+	// ID replaces Payload between mediator and opposite source in ID mode.
+	ID uint64
+}
+
+// commOffer is a source's step 3 message M_i.
+type commOffer struct {
+	Session    string
+	Schema     relation.Schema
+	WrappedKey []byte
+	Items      []commItem
+}
+
+// commCross carries the opposite source's items (step 4), and commCrossBack
+// the re-encrypted ones (steps 5/6).
+type commCross struct {
+	Items []commItem
+}
+
+// commPair is one result message ⟨encrypt(Tup1(a)), encrypt(Tup2(a))⟩.
+type commPair struct {
+	T1, T2 []byte
+}
+
+// commResult is the mediator's step 7 message to the client.
+type commResult struct {
+	Session              string
+	Schema1, Schema2     relation.Schema
+	JoinCols1, JoinCols2 []string
+	Wrapped1, Wrapped2   []byte
+	Pairs                []commPair
+}
+
+// serveCommutative implements a datasource's role in Listing 3: generate a
+// fresh commutative key, hash and encrypt every active-domain value of the
+// join attributes (composite keys supported), encrypt the tuple sets for
+// the client, ship the shuffled message set, then re-encrypt the opposite
+// source's hash values when they come back through the mediator.
+func (s *Source) serveCommutative(conn transport.Conn, pq *PartialQuery, rel *relation.Relation, clientKey *rsa.PublicKey, watch *stopwatch) error {
+	group, err := pq.Params.commutativeGroup()
+	if err != nil {
+		return err
+	}
+	var offer commOffer
+	var key *commutative.Key
+	err = watch.track(func() error {
+		key, err = commutative.GenerateKey(group, rand.Reader)
+		if err != nil {
+			return err
+		}
+		orc := oracle.New(group, pq.SessionID)
+		groupsByKey, err := rel.GroupByColumns(pq.JoinCols)
+		if err != nil {
+			return err
+		}
+		if len(groupsByKey) == 0 {
+			return fmt.Errorf("comm: relation %s is empty", pq.Relation)
+		}
+		sess, err := hybrid.NewSession(clientKey)
+		if err != nil {
+			return err
+		}
+		offer = commOffer{Session: pq.SessionID, Schema: rel.Schema(), WrappedKey: sess.WrappedKey()}
+		aad := []byte("comm:" + pq.SessionID + ":" + rel.Schema().Relation)
+		for _, g := range groupsByKey {
+			h := orc.HashBytes(relation.EncodeValues(g.Key, nil))
+			c, err := key.Encrypt(h)
+			if err != nil {
+				return err
+			}
+			sealed, err := sess.Seal(relation.EncodeTupleSet(g.Tuples), aad)
+			if err != nil {
+				return err
+			}
+			offer.Items = append(offer.Items, commItem{Hash: c, Payload: sealed.Marshal()})
+		}
+		s.Ledger.UsePrimitive(s.party(), "ideal-hash", int64(len(offer.Items)))
+		s.Ledger.UsePrimitive(s.party(), "commutative-encryption", int64(len(offer.Items)))
+		s.Ledger.UsePrimitive(s.party(), "hybrid-encryption", int64(len(offer.Items)))
+		// Step 3: "arbitrarily ordered" — shuffle so positions leak nothing.
+		return shuffleItems(offer.Items)
+	})
+	if err != nil {
+		return err
+	}
+	if err := sendMsg(conn, msgCommOffer, offer); err != nil {
+		return err
+	}
+
+	// Steps 4–6: re-encrypt the opposite source's hash values.
+	var cross commCross
+	if err := recvInto(conn, msgCommCross, &cross); err != nil {
+		return err
+	}
+	var back commCross
+	err = watch.track(func() error {
+		// Both sources learn the opposite active-domain size (Section 6).
+		s.Ledger.Observe(s.party(), "|domactive(opposite)|", int64(len(cross.Items)))
+		back.Items = make([]commItem, len(cross.Items))
+		for i, it := range cross.Items {
+			h2, err := key.ReEncrypt(it.Hash)
+			if err != nil {
+				return err
+			}
+			back.Items[i] = commItem{Hash: h2, Payload: it.Payload, ID: it.ID}
+		}
+		s.Ledger.UsePrimitive(s.party(), "commutative-encryption", int64(len(cross.Items)))
+		return shuffleItems(back.Items)
+	})
+	if err != nil {
+		return err
+	}
+	return sendMsg(conn, msgCommCrossBack, back)
+}
+
+// mediateCommutative implements the mediator's role: exchange the message
+// sets between the sources (step 4; in ID mode retaining the encrypted
+// tuple sets per footnote 1), then match doubly-encrypted hash values and
+// assemble the result messages (step 7).
+func (m *Mediator) mediateCommutative(client, s1, s2 transport.Conn, d *decomposition, params Params, watch *stopwatch) error {
+	var o1, o2 commOffer
+	if err := recvInto(s1, msgCommOffer, &o1); err != nil {
+		return err
+	}
+	if err := recvInto(s2, msgCommOffer, &o2); err != nil {
+		return err
+	}
+	// Table 1: the mediator learns both active-domain sizes.
+	m.Ledger.Observe(leakage.PartyMediator, "|domactive(R1.Ajoin)|", int64(len(o1.Items)))
+	m.Ledger.Observe(leakage.PartyMediator, "|domactive(R2.Ajoin)|", int64(len(o2.Items)))
+
+	// Step 4: forward each offer to the opposite source.
+	var store1, store2 map[uint64][]byte
+	cross1, cross2 := commCross{Items: o2.Items}, commCross{Items: o1.Items}
+	if params.IDMode {
+		// Footnote 1: keep the payloads here; circulate fixed-length IDs.
+		store1, cross2.Items = stripPayloads(o1.Items)
+		store2, cross1.Items = stripPayloads(o2.Items)
+	}
+	if err := sendMsg(s1, msgCommCross, cross1); err != nil {
+		return err
+	}
+	if err := sendMsg(s2, msgCommCross, cross2); err != nil {
+		return err
+	}
+	var b1, b2 commCross
+	if err := recvInto(s1, msgCommCrossBack, &b1); err != nil {
+		return err
+	}
+	if err := recvInto(s2, msgCommCrossBack, &b2); err != nil {
+		return err
+	}
+
+	// Step 7: match identical first components. b2 carries R1's tuple
+	// sets (S2 re-encrypted S1's hashes), b1 carries R2's.
+	res := commResult{
+		Session: o1.Session,
+		Schema1: o1.Schema, Schema2: o2.Schema,
+		JoinCols1: d.joinCols1, JoinCols2: d.joinCols2,
+		Wrapped1: o1.WrappedKey, Wrapped2: o2.WrappedKey,
+	}
+	err := watch.track(func() error {
+		tup1ByHash := make(map[string][]byte, len(b2.Items))
+		for _, it := range b2.Items {
+			payload := it.Payload
+			if params.IDMode {
+				var ok bool
+				payload, ok = store1[it.ID]
+				if !ok {
+					return fmt.Errorf("comm: unknown ID %d from S2", it.ID)
+				}
+			}
+			tup1ByHash[it.Hash.String()] = payload
+		}
+		for _, it := range b1.Items {
+			t1, ok := tup1ByHash[it.Hash.String()]
+			if !ok {
+				continue
+			}
+			t2 := it.Payload
+			if params.IDMode {
+				t2, ok = store2[it.ID]
+				if !ok {
+					return fmt.Errorf("comm: unknown ID %d from S1", it.ID)
+				}
+			}
+			res.Pairs = append(res.Pairs, commPair{T1: t1, T2: t2})
+		}
+		// Table 1: the mediator learns the intersection size, a lower
+		// bound of the global result size.
+		m.Ledger.Observe(leakage.PartyMediator, "|domactive(R1) ∩ domactive(R2)|", int64(len(res.Pairs)))
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	return sendMsg(client, msgCommResult, res)
+}
+
+// runCommutative implements the client's step 8: decrypt the matched tuple
+// sets and construct the result tuples (a cross product per matched join
+// value).
+func (c *Client) runCommutative(conn transport.Conn, watch *stopwatch) (*relation.Relation, relation.Schema, []string, error) {
+	var res commResult
+	if err := recvInto(conn, msgCommResult, &res); err != nil {
+		return nil, relation.Schema{}, nil, err
+	}
+	var joined *relation.Relation
+	err := watch.track(func() error {
+		recv1, err := hybrid.NewReceiver(c.PrivateKey, res.Wrapped1)
+		if err != nil {
+			return err
+		}
+		recv2, err := hybrid.NewReceiver(c.PrivateKey, res.Wrapped2)
+		if err != nil {
+			return err
+		}
+		schema, err := res.Schema1.Concat(res.Schema2)
+		if err != nil {
+			return err
+		}
+		joined = relation.New(schema)
+		aad1 := []byte("comm:" + res.Session + ":" + res.Schema1.Relation)
+		aad2 := []byte("comm:" + res.Session + ":" + res.Schema2.Relation)
+		for _, p := range res.Pairs {
+			ts1, err := openTupleSet(recv1, p.T1, aad1, res.Schema1)
+			if err != nil {
+				return err
+			}
+			ts2, err := openTupleSet(recv2, p.T2, aad2, res.Schema2)
+			if err != nil {
+				return err
+			}
+			for _, t1 := range ts1 {
+				for _, t2 := range ts2 {
+					t := make(relation.Tuple, 0, len(t1)+len(t2))
+					t = append(t, t1...)
+					t = append(t, t2...)
+					if err := joined.Append(t); err != nil {
+						return err
+					}
+				}
+			}
+		}
+		c.Ledger.UsePrimitive(leakage.PartyClient, "hybrid-decryption", int64(2*len(res.Pairs)))
+		// Table 1: the client receives only the exact global result.
+		c.Ledger.Observe(leakage.PartyClient, "result-tuples", int64(joined.Len()))
+		return nil
+	})
+	if err != nil {
+		return nil, relation.Schema{}, nil, err
+	}
+	return joined, res.Schema2, res.JoinCols2, nil
+}
+
+func openTupleSet(recv *hybrid.Receiver, blob, aad []byte, schema relation.Schema) ([]relation.Tuple, error) {
+	ct, err := hybrid.UnmarshalCiphertext(blob)
+	if err != nil {
+		return nil, err
+	}
+	pt, err := recv.Open(ct, aad)
+	if err != nil {
+		return nil, err
+	}
+	return relation.DecodeTupleSet(schema, pt)
+}
+
+// stripPayloads implements footnote 1: replace payloads with fresh IDs and
+// return the retention map.
+func stripPayloads(items []commItem) (map[uint64][]byte, []commItem) {
+	store := make(map[uint64][]byte, len(items))
+	out := make([]commItem, len(items))
+	var next uint64
+	for i, it := range items {
+		next++
+		store[next] = it.Payload
+		out[i] = commItem{Hash: it.Hash, ID: next}
+	}
+	return store, out
+}
+
+// shuffleItems applies a cryptographic Fisher-Yates shuffle, realizing the
+// paper's "arbitrarily ordered set of messages".
+func shuffleItems(items []commItem) error {
+	for i := len(items) - 1; i > 0; i-- {
+		jBig, err := rand.Int(rand.Reader, big.NewInt(int64(i+1)))
+		if err != nil {
+			return fmt.Errorf("comm: shuffle: %w", err)
+		}
+		j := int(jBig.Int64())
+		items[i], items[j] = items[j], items[i]
+	}
+	return nil
+}
+
+// CommutativeIntersection runs Agrawal et al.'s two-party intersection
+// protocol shape directly (the operation the paper's Section 4 cites
+// alongside the join): both parties hash and singly encrypt their value
+// sets, cross-encrypt each other's, and the receiver learns exactly which
+// of its values lie in the intersection — nothing else. Exposed for the
+// ext-intersection experiment.
+func CommutativeIntersection(g *groups.Group, label string, receiver, sender []relation.Value) ([]relation.Value, error) {
+	kR, err := commutative.GenerateKey(g, rand.Reader)
+	if err != nil {
+		return nil, err
+	}
+	kS, err := commutative.GenerateKey(g, rand.Reader)
+	if err != nil {
+		return nil, err
+	}
+	orc := oracle.New(g, label)
+	// Sender: f_s(h(u)) for its values, shared with receiver, who
+	// re-encrypts to f_r(f_s(h(u))).
+	senderDouble := make(map[string]bool, len(sender))
+	for _, u := range sender {
+		c, err := kS.Encrypt(orc.HashValue(u))
+		if err != nil {
+			return nil, err
+		}
+		d, err := kR.ReEncrypt(c)
+		if err != nil {
+			return nil, err
+		}
+		senderDouble[d.String()] = true
+	}
+	// Receiver: f_r(h(v)), sender re-encrypts to f_s(f_r(h(v))); the
+	// receiver matches against the sender's doubly-encrypted set.
+	var out []relation.Value
+	for _, v := range receiver {
+		c, err := kR.Encrypt(orc.HashValue(v))
+		if err != nil {
+			return nil, err
+		}
+		d, err := kS.ReEncrypt(c)
+		if err != nil {
+			return nil, err
+		}
+		if senderDouble[d.String()] {
+			out = append(out, v)
+		}
+	}
+	return out, nil
+}

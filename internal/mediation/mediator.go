@@ -1,0 +1,198 @@
+package mediation
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+
+	"github.com/secmediation/secmediation/internal/credential"
+	"github.com/secmediation/secmediation/internal/leakage"
+	"github.com/secmediation/secmediation/internal/relation"
+	"github.com/secmediation/secmediation/internal/sqlparse"
+	"github.com/secmediation/secmediation/internal/transport"
+)
+
+// Dialer opens a fresh link to a datasource for one session.
+type Dialer func() (transport.Conn, error)
+
+// Mediator is the untrusted middle party of Figure 2: it localizes
+// datasources, decomposes global queries, forwards credential subsets, and
+// runs the mediator side of each delivery-phase protocol — over
+// ciphertexts only.
+type Mediator struct {
+	// Schemas is the mediator's homogeneous global schema (the paper's
+	// "embedding"): relation name → schema.
+	Schemas map[string]relation.Schema
+	// Routes localizes relations: relation name → dialer to the owning
+	// source.
+	Routes map[string]Dialer
+	// CredHints optionally names, per relation, the credential property
+	// names the owning source's policy needs; the mediator forwards only
+	// matching credentials (Listing 1, step 2: "selects appropriate
+	// subsets CR_i"). Relations without hints receive the full set.
+	CredHints map[string][]string
+	// Ledger optionally records leakage, primitive usage and traffic.
+	Ledger *leakage.Ledger
+}
+
+// HandleSession serves one client session end-to-end. It is the
+// combination of the request phase (Listing 1) and the mediator role of
+// the selected delivery phase (Listings 2–4).
+func (m *Mediator) HandleSession(client transport.Conn) error {
+	err := m.handleSession(client)
+	if err != nil {
+		sendError(client, err)
+	}
+	return err
+}
+
+func (m *Mediator) handleSession(client transport.Conn) error {
+	var req Request
+	if err := recvInto(client, msgRequest, &req); err != nil {
+		return err
+	}
+	req.Params = req.Params.withDefaults()
+
+	// Aggregation and union queries take their own paths (aggproto.go,
+	// unionproto.go).
+	if q, err := sqlparse.Parse(req.SQL); err == nil {
+		if q.Aggregate != nil {
+			return m.handleAggregate(client, &req, q)
+		}
+		if q.UnionWith != "" {
+			return m.handleUnion(client, &req, q)
+		}
+	}
+
+	// Listing 1, step 2: decompose and localize.
+	d, err := decompose(req.SQL, m.Schemas)
+	if err != nil {
+		return err
+	}
+	dial1, ok := m.Routes[d.rel1]
+	if !ok {
+		return fmt.Errorf("mediation: no source for relation %q", d.rel1)
+	}
+	dial2, ok := m.Routes[d.rel2]
+	if !ok {
+		return fmt.Errorf("mediation: no source for relation %q", d.rel2)
+	}
+	conn1, err := dial1()
+	if err != nil {
+		return fmt.Errorf("mediation: dialing source of %s: %w", d.rel1, err)
+	}
+	defer conn1.Close()
+	conn2, err := dial2()
+	if err != nil {
+		return fmt.Errorf("mediation: dialing source of %s: %w", d.rel2, err)
+	}
+	defer conn2.Close()
+
+	session, err := newSessionID()
+	if err != nil {
+		return err
+	}
+
+	// Listing 1, step 3: partial queries with credential subsets and join
+	// attribute sets.
+	pq1 := PartialQuery{
+		SessionID: session, Query: d.partialSQL(d.rel1), Relation: d.rel1,
+		JoinCols: d.joinCols1, Credentials: m.selectCredentials(d.rel1, req.Credentials),
+		Protocol: req.Protocol, Params: req.Params, HomomorphicKey: req.HomomorphicKey,
+	}
+	pq2 := PartialQuery{
+		SessionID: session, Query: d.partialSQL(d.rel2), Relation: d.rel2,
+		JoinCols: d.joinCols2, Credentials: m.selectCredentials(d.rel2, req.Credentials),
+		Protocol: req.Protocol, Params: req.Params, HomomorphicKey: req.HomomorphicKey,
+	}
+	if req.Protocol == ProtocolDAS && req.Params.Pushdown {
+		// Selection-pushdown extension: ask the sources to index the
+		// pushable WHERE columns as well.
+		pq1.FilterCols = filterColumns(extractPushdown(d.query.Where, m.Schemas[d.rel1]), d.joinCols1)
+		pq2.FilterCols = filterColumns(extractPushdown(d.query.Where, m.Schemas[d.rel2]), d.joinCols2)
+	}
+	if err := sendMsg(conn1, msgPartialQuery, pq1); err != nil {
+		return err
+	}
+	if err := sendMsg(conn2, msgPartialQuery, pq2); err != nil {
+		return err
+	}
+	var ack1, ack2 PartialAck
+	if err := recvInto(conn1, msgPartialAck, &ack1); err != nil {
+		return err
+	}
+	if err := recvInto(conn2, msgPartialAck, &ack2); err != nil {
+		return err
+	}
+	if !ack1.Granted {
+		return fmt.Errorf("mediation: access to %s denied: %s", d.rel1, ack1.Reason)
+	}
+	if !ack2.Granted {
+		return fmt.Errorf("mediation: access to %s denied: %s", d.rel2, ack2.Reason)
+	}
+	d.schema1, d.schema2 = ack1.Schema, ack2.Schema
+
+	watch := newStopwatch(m.Ledger, leakage.PartyMediator)
+	switch req.Protocol {
+	case ProtocolPlaintext:
+		err = m.mediatePlaintext(client, conn1, conn2, d, watch)
+	case ProtocolMobileCode:
+		err = m.mediateMobileCode(client, conn1, conn2, d)
+	case ProtocolDAS:
+		err = m.mediateDAS(client, conn1, conn2, d, watch)
+	case ProtocolCommutative:
+		err = m.mediateCommutative(client, conn1, conn2, d, req.Params, watch)
+	case ProtocolPM:
+		err = m.mediatePM(client, conn1, conn2, d, req.Params, watch)
+	default:
+		err = fmt.Errorf("mediation: unknown protocol %d", req.Protocol)
+	}
+	if err != nil {
+		// Unblock sources that may still be waiting mid-protocol.
+		sendError(conn1, err)
+		sendError(conn2, err)
+		return err
+	}
+	m.recordTraffic(client, conn1, conn2)
+	return nil
+}
+
+// selectCredentials picks CR_i for a relation per the configured hints.
+func (m *Mediator) selectCredentials(rel string, all credential.Set) credential.Set {
+	hints, ok := m.CredHints[rel]
+	if !ok || len(hints) == 0 {
+		return all
+	}
+	seen := map[*credential.Credential]bool{}
+	var out credential.Set
+	for _, h := range hints {
+		for _, c := range all.WithProperty(h) {
+			if !seen[c] {
+				seen[c] = true
+				out = append(out, c)
+			}
+		}
+	}
+	return out
+}
+
+func (m *Mediator) recordTraffic(client, s1, s2 transport.Conn) {
+	if m.Ledger == nil {
+		return
+	}
+	m.Ledger.Observe(leakage.PartyMediator, "bytes-to-client", client.Stats().BytesSent())
+	m.Ledger.Observe(leakage.PartyMediator, "bytes-from-client", client.Stats().BytesRecv())
+	m.Ledger.Observe(leakage.PartyMediator, "bytes-to-sources", s1.Stats().BytesSent()+s2.Stats().BytesSent())
+	m.Ledger.Observe(leakage.PartyMediator, "bytes-from-sources", s1.Stats().BytesRecv()+s2.Stats().BytesRecv())
+	m.Ledger.Observe(leakage.PartyMediator, "msgs-with-client", client.Stats().MsgsSent()+client.Stats().MsgsRecv())
+	m.Ledger.Observe(leakage.PartyMediator, "msgs-with-sources",
+		s1.Stats().MsgsSent()+s1.Stats().MsgsRecv()+s2.Stats().MsgsSent()+s2.Stats().MsgsRecv())
+}
+
+func newSessionID() (string, error) {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "", fmt.Errorf("mediation: session id: %w", err)
+	}
+	return hex.EncodeToString(b[:]), nil
+}

@@ -1,0 +1,338 @@
+package mediation
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"fmt"
+	"math/big"
+
+	"github.com/secmediation/secmediation/internal/crypto/hybrid"
+	"github.com/secmediation/secmediation/internal/crypto/paillier"
+	"github.com/secmediation/secmediation/internal/leakage"
+	"github.com/secmediation/secmediation/internal/pm"
+	"github.com/secmediation/secmediation/internal/relation"
+	"github.com/secmediation/secmediation/internal/transport"
+)
+
+// pmCoeffs is a source's Listing 4 step 2/3 message: the homomorphically
+// encrypted coefficients of its active-domain polynomial (bucketed per the
+// FNP optimization; one bucket means the paper's literal single
+// polynomial).
+type pmCoeffs struct {
+	Session string
+	Schema  relation.Schema
+	Buckets pm.EncryptedBuckets
+}
+
+// pmCross forwards the opposite source's encrypted polynomial (step 4).
+type pmCross struct {
+	Buckets pm.EncryptedBuckets
+}
+
+// pmPayloadEntry carries one sealed tuple set in the footnote-2 hybrid
+// mode, addressed by the ID packed inside the polynomial evaluation.
+type pmPayloadEntry struct {
+	ID     uint64
+	Sealed []byte
+}
+
+// pmEvals is a source's step 5/6 message: the masked evaluations e_k, plus
+// the payload table in hybrid mode.
+type pmEvals struct {
+	Evals []*paillier.Ciphertext
+	Table []pmPayloadEntry
+}
+
+// pmResult is the mediator's step 7 message to the client: all n+m
+// encrypted values (and payload tables).
+type pmResult struct {
+	Session              string
+	Schema1, Schema2     relation.Schema
+	JoinCols1, JoinCols2 []string
+	Evals1, Evals2       []*paillier.Ciphertext
+	Table1, Table2       []pmPayloadEntry
+	Mode                 PayloadMode
+}
+
+// servePM implements a datasource's role in Listing 4: build the
+// polynomial over the active domain of the join attributes, encrypt its
+// coefficients with the client's homomorphic key, then obliviously
+// evaluate the opposite source's polynomial at every own value, masked and
+// carrying the tuple-set payload.
+func (s *Source) servePM(conn transport.Conn, pq *PartialQuery, rel *relation.Relation, watch *stopwatch) error {
+	if pq.HomomorphicKey == nil || pq.HomomorphicKey.N == nil {
+		return fmt.Errorf("pm: request carries no homomorphic client key")
+	}
+	pk := derivePaillierKey(pq.HomomorphicKey)
+	codec, err := pm.NewCodec(pk)
+	if err != nil {
+		return err
+	}
+	groupsByKey, err := rel.GroupByColumns(pq.JoinCols)
+	if err != nil {
+		return err
+	}
+	if len(groupsByKey) == 0 {
+		return fmt.Errorf("pm: relation %s is empty", pq.Relation)
+	}
+	roots := make([]*big.Int, len(groupsByKey))
+	for i, g := range groupsByKey {
+		roots[i] = pm.RootOfBytes(relation.EncodeValues(g.Key, nil))
+	}
+	var coeffs pmCoeffs
+	err = watch.track(func() error {
+		buckets, err := pm.BuildBuckets(roots, pq.Params.Buckets, pk.N)
+		if err != nil {
+			return err
+		}
+		enc, err := buckets.Encrypt(pk)
+		if err != nil {
+			return err
+		}
+		nCoeffs := int64(len(enc.Polys)) * int64(buckets.MaxDegree()+1)
+		s.Ledger.UsePrimitive(s.party(), "homomorphic-encryption", nCoeffs)
+		coeffs = pmCoeffs{Session: pq.SessionID, Schema: rel.Schema(), Buckets: *enc}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if err := sendMsg(conn, msgPMCoeffs, coeffs); err != nil {
+		return err
+	}
+
+	var cross pmCross
+	if err := recvInto(conn, msgPMCross, &cross); err != nil {
+		return err
+	}
+	var evals pmEvals
+	err = watch.track(func() error {
+		// Section 6: each source learns the opposite polynomial degree(s),
+		// i.e. the opposite active-domain size.
+		oppDegree := int64(0)
+		for _, p := range cross.Buckets.Polys {
+			oppDegree += int64(len(p.Coeffs) - 1)
+		}
+		s.Ledger.Observe(s.party(), "|domactive(opposite)|", oppDegree)
+
+		aad := []byte("pm:" + pq.SessionID + ":" + rel.Schema().Relation)
+		var nextID uint64
+		for i, g := range groupsByKey {
+			tuplesBlob := relation.EncodeTupleSet(g.Tuples)
+			var payload []byte
+			switch pq.Params.PayloadMode {
+			case PayloadInline:
+				payload = tuplesBlob
+			case PayloadHybrid:
+				// Footnote 2: pack a fresh session key and an ID; ship the
+				// sealed tuple set out of band.
+				key, err := hybrid.NewSessionKey()
+				if err != nil {
+					return err
+				}
+				nextID++
+				sealed, err := hybrid.SealWithKey(key, tuplesBlob, aad)
+				if err != nil {
+					return err
+				}
+				evals.Table = append(evals.Table, pmPayloadEntry{ID: nextID, Sealed: sealed.Marshal()})
+				var idb [8]byte
+				binary.BigEndian.PutUint64(idb[:], nextID)
+				payload = append(key, idb[:]...)
+				s.Ledger.UsePrimitive(s.party(), "hybrid-encryption", 1)
+			default:
+				return fmt.Errorf("pm: unknown payload mode %d", pq.Params.PayloadMode)
+			}
+			m, err := codec.Pack(roots[i], payload)
+			if err != nil {
+				return err
+			}
+			e, err := cross.Buckets.MaskedEval(pk, roots[i], m)
+			if err != nil {
+				return err
+			}
+			evals.Evals = append(evals.Evals, e)
+		}
+		s.Ledger.UsePrimitive(s.party(), "homomorphic-evaluation", int64(len(groupsByKey)))
+		s.Ledger.UsePrimitive(s.party(), "random-masking", int64(len(groupsByKey)))
+		// Shuffle the evaluations so positions carry no join-order signal.
+		for i := len(evals.Evals) - 1; i > 0; i-- {
+			jBig, err := rand.Int(rand.Reader, big.NewInt(int64(i+1)))
+			if err != nil {
+				return err
+			}
+			j := int(jBig.Int64())
+			evals.Evals[i], evals.Evals[j] = evals.Evals[j], evals.Evals[i]
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	return sendMsg(conn, msgPMEvals, evals)
+}
+
+// mediatePM implements the mediator's role: forward the encrypted
+// coefficients to the opposite source (step 4) and ship the n+m encrypted
+// evaluations to the client (step 7). The mediator never decrypts
+// anything; it only observes polynomial degrees.
+func (m *Mediator) mediatePM(client, s1, s2 transport.Conn, d *decomposition, params Params, watch *stopwatch) error {
+	var c1, c2 pmCoeffs
+	if err := recvInto(s1, msgPMCoeffs, &c1); err != nil {
+		return err
+	}
+	if err := recvInto(s2, msgPMCoeffs, &c2); err != nil {
+		return err
+	}
+	// Table 1: the mediator learns the polynomial degrees, hence the
+	// active-domain sizes.
+	m.Ledger.Observe(leakage.PartyMediator, "|domactive(R1.Ajoin)|", totalDegree(&c1.Buckets))
+	m.Ledger.Observe(leakage.PartyMediator, "|domactive(R2.Ajoin)|", totalDegree(&c2.Buckets))
+
+	if err := sendMsg(s1, msgPMCross, pmCross{Buckets: c2.Buckets}); err != nil {
+		return err
+	}
+	if err := sendMsg(s2, msgPMCross, pmCross{Buckets: c1.Buckets}); err != nil {
+		return err
+	}
+	var e1, e2 pmEvals
+	if err := recvInto(s1, msgPMEvals, &e1); err != nil {
+		return err
+	}
+	if err := recvInto(s2, msgPMEvals, &e2); err != nil {
+		return err
+	}
+	return sendMsg(client, msgPMResult, pmResult{
+		Session: c1.Session,
+		Schema1: c1.Schema, Schema2: c2.Schema,
+		JoinCols1: d.joinCols1, JoinCols2: d.joinCols2,
+		Evals1: e1.Evals, Evals2: e2.Evals,
+		Table1: e1.Table, Table2: e2.Table,
+		Mode: params.PayloadMode,
+	})
+}
+
+func totalDegree(b *pm.EncryptedBuckets) int64 {
+	var total int64
+	for _, p := range b.Polys {
+		total += int64(len(p.Coeffs) - 1)
+	}
+	return total
+}
+
+// pmSide is one decrypted, matched side of the PM result: root → tuple set.
+type pmSide map[string][]relation.Tuple
+
+// runPM implements the client's step 8: decrypt all n+m values, keep those
+// of the form (a ‖ payload), match equal roots across the two sides and
+// cross-combine the tuple sets.
+func (c *Client) runPM(conn transport.Conn, params Params, watch *stopwatch) (*relation.Relation, relation.Schema, []string, error) {
+	var res pmResult
+	if err := recvInto(conn, msgPMResult, &res); err != nil {
+		return nil, relation.Schema{}, nil, err
+	}
+	hk, err := c.HomomorphicKey(params.PaillierBits)
+	if err != nil {
+		return nil, relation.Schema{}, nil, err
+	}
+	codec, err := pm.NewCodec(&hk.PublicKey)
+	if err != nil {
+		return nil, relation.Schema{}, nil, err
+	}
+	var joined *relation.Relation
+	err = watch.track(func() error {
+		// Table 1: the client receives encrypted values of both partial
+		// results (n+m of them) but can open only the matching ones.
+		c.Ledger.Observe(leakage.PartyClient, "encrypted-values-received", int64(len(res.Evals1)+len(res.Evals2)))
+		c.Ledger.UsePrimitive(leakage.PartyClient, "homomorphic-decryption", int64(len(res.Evals1)+len(res.Evals2)))
+
+		side1, err := c.openPMSide(hk, codec, res.Evals1, res.Table1, params.PayloadMode, res.Session, res.Schema1)
+		if err != nil {
+			return err
+		}
+		side2, err := c.openPMSide(hk, codec, res.Evals2, res.Table2, params.PayloadMode, res.Session, res.Schema2)
+		if err != nil {
+			return err
+		}
+		schema, err := res.Schema1.Concat(res.Schema2)
+		if err != nil {
+			return err
+		}
+		joined = relation.New(schema)
+		for root, ts1 := range side1 {
+			ts2, ok := side2[root]
+			if !ok {
+				continue
+			}
+			for _, t1 := range ts1 {
+				for _, t2 := range ts2 {
+					t := make(relation.Tuple, 0, len(t1)+len(t2))
+					t = append(t, t1...)
+					t = append(t, t2...)
+					if err := joined.Append(t); err != nil {
+						return err
+					}
+				}
+			}
+		}
+		c.Ledger.Observe(leakage.PartyClient, "result-tuples", int64(joined.Len()))
+		return nil
+	})
+	if err != nil {
+		return nil, relation.Schema{}, nil, err
+	}
+	return joined, res.Schema2, res.JoinCols2, nil
+}
+
+// openPMSide decrypts one source's evaluations and returns the decodable
+// (i.e. matching) entries keyed by root.
+func (c *Client) openPMSide(hk *paillier.PrivateKey, codec *pm.Codec, evals []*paillier.Ciphertext, table []pmPayloadEntry, mode PayloadMode, session string, schema relation.Schema) (pmSide, error) {
+	relName := schema.Relation
+	byID := make(map[uint64][]byte, len(table))
+	for _, e := range table {
+		byID[e.ID] = e.Sealed
+	}
+	aad := []byte("pm:" + session + ":" + relName)
+	side := make(pmSide)
+	for _, e := range evals {
+		m, err := hk.Decrypt(e)
+		if err != nil {
+			return nil, err
+		}
+		root, payload, ok := codec.Unpack(m)
+		if !ok {
+			continue // non-matching value: decrypts to randomness
+		}
+		var tuplesBlob []byte
+		switch mode {
+		case PayloadInline:
+			tuplesBlob = payload
+		case PayloadHybrid:
+			if len(payload) != hybrid.SessionKeyLen+8 {
+				return nil, fmt.Errorf("pm: hybrid payload has %d bytes, want %d", len(payload), hybrid.SessionKeyLen+8)
+			}
+			key := payload[:hybrid.SessionKeyLen]
+			id := binary.BigEndian.Uint64(payload[hybrid.SessionKeyLen:])
+			sealed, ok := byID[id]
+			if !ok {
+				return nil, fmt.Errorf("pm: payload table has no entry %d", id)
+			}
+			ct, err := hybrid.UnmarshalCiphertext(sealed)
+			if err != nil {
+				return nil, err
+			}
+			tuplesBlob, err = hybrid.OpenWithKey(key, ct, aad)
+			if err != nil {
+				return nil, err
+			}
+		default:
+			return nil, fmt.Errorf("pm: unknown payload mode %d", mode)
+		}
+		tuples, err := relation.DecodeTupleSet(schema, tuplesBlob)
+		if err != nil {
+			return nil, err
+		}
+		side[root.String()] = tuples
+	}
+	return side, nil
+}

@@ -1,0 +1,254 @@
+// Package mediation implements the paper's contribution: the credential-
+// based Multimedia Mediator (MMM) architecture with three delivery-phase
+// protocols that let an untrusted mediator compute an equi-JOIN over
+// encrypted partial results —
+//
+//   - ProtocolDAS: bucketization with a client-side query translator
+//     (Listing 2; after Hacıgümüş et al.),
+//   - ProtocolCommutative: double commutative encryption of hashed join
+//     values (Listing 3; after Agrawal et al.),
+//   - ProtocolPM: private matching with homomorphically encrypted
+//     polynomials (Listing 4; after Freedman et al.) —
+//
+// plus two baselines: ProtocolMobileCode (the earlier MMM solution: the
+// client decrypts partial results and computes the join locally) and
+// ProtocolPlaintext (a trusted mediator joining plaintexts).
+//
+// Parties (Client, Mediator, Source) communicate exclusively through
+// transport.Conn links, so every protocol runs identically in-memory
+// (tests, benchmarks) and across TCP (cmd/mediator etc.). All parties are
+// semi-honest: they follow the protocol but may analyze what they see;
+// the leakage.Ledger records exactly what that is.
+package mediation
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/secmediation/secmediation/internal/crypto/groups"
+	"github.com/secmediation/secmediation/internal/das"
+	"github.com/secmediation/secmediation/internal/leakage"
+	"github.com/secmediation/secmediation/internal/transport"
+)
+
+// Protocol selects a delivery-phase protocol.
+type Protocol uint8
+
+const (
+	// ProtocolPlaintext is the trusted-mediator baseline (Figure 1 without
+	// encryption).
+	ProtocolPlaintext Protocol = iota
+	// ProtocolMobileCode is the prior MMM solution: hybrid-encrypted
+	// partial results, join at the client.
+	ProtocolMobileCode
+	// ProtocolDAS is the Database-as-a-Service protocol (Listing 2,
+	// client setting).
+	ProtocolDAS
+	// ProtocolCommutative is the commutative-encryption protocol
+	// (Listing 3).
+	ProtocolCommutative
+	// ProtocolPM is the private-matching protocol (Listing 4).
+	ProtocolPM
+)
+
+// String names the protocol as in the paper's tables.
+func (p Protocol) String() string {
+	switch p {
+	case ProtocolPlaintext:
+		return "plaintext"
+	case ProtocolMobileCode:
+		return "mobile-code"
+	case ProtocolDAS:
+		return "database-as-a-service"
+	case ProtocolCommutative:
+		return "commutative-encryption"
+	case ProtocolPM:
+		return "private-matching"
+	default:
+		return "unknown"
+	}
+}
+
+// PayloadMode selects how the PM protocol carries tuple sets.
+type PayloadMode uint8
+
+const (
+	// PayloadInline packs the serialized tuple set directly into the
+	// masked polynomial evaluation (Listing 4 as written). Limited by the
+	// Paillier plaintext size.
+	PayloadInline PayloadMode = iota
+	// PayloadHybrid implements footnote 2: the polynomial carries a fresh
+	// session key and an ID; the tuple set travels separately, sealed
+	// under that session key.
+	PayloadHybrid
+)
+
+// String names the payload mode.
+func (m PayloadMode) String() string {
+	if m == PayloadHybrid {
+		return "hybrid"
+	}
+	return "inline"
+}
+
+// Params tunes the delivery-phase protocols. The zero value selects sane
+// defaults (see withDefaults).
+type Params struct {
+	// Partitions is the DAS partition count per index table.
+	Partitions int
+	// Pushdown enables the DAS selection-pushdown extension: conjunctive
+	// WHERE conditions are translated into mediator-side index filters.
+	// Off by default (it reveals predicate-satisfaction patterns to the
+	// mediator; see internal/mediation/pushdown.go).
+	Pushdown bool
+	// Strategy is the DAS partitioning strategy.
+	Strategy das.Strategy
+	// GroupBits selects the commutative-encryption safe-prime group
+	// (1536, 2048 or 3072 bits, the embedded RFC 3526 groups).
+	GroupBits int
+	// IDMode enables footnote 1 for the commutative protocol: the
+	// mediator retains the encrypted tuple sets and circulates fixed-
+	// length IDs instead.
+	IDMode bool
+	// PayloadMode selects the PM tuple-set transport.
+	PayloadMode PayloadMode
+	// Buckets is the FNP bucketing parameter for PM; 0 or 1 means one
+	// polynomial over the whole active domain.
+	Buckets int
+	// PaillierBits is the PM key size; the client generates the key.
+	PaillierBits int
+}
+
+func (p Params) withDefaults() Params {
+	if p.Partitions == 0 {
+		p.Partitions = 16
+	}
+	if p.GroupBits == 0 {
+		p.GroupBits = 2048
+	}
+	if p.Buckets < 1 {
+		p.Buckets = 1
+	}
+	if p.PaillierBits == 0 {
+		p.PaillierBits = 1024
+	}
+	return p
+}
+
+// commutativeGroup resolves GroupBits to an embedded RFC 3526 group.
+func (p Params) commutativeGroup() (*groups.Group, error) {
+	switch p.GroupBits {
+	case 1536:
+		return groups.MODP1536(), nil
+	case 2048:
+		return groups.MODP2048(), nil
+	case 3072:
+		return groups.MODP3072(), nil
+	default:
+		return nil, fmt.Errorf("mediation: unsupported commutative group size %d (use 1536, 2048 or 3072)", p.GroupBits)
+	}
+}
+
+// Message type tags. One namespace per protocol keeps mis-wiring loud.
+const (
+	msgRequest      = "mmm.request"
+	msgPartialQuery = "mmm.partial-query"
+	msgPartialAck   = "mmm.partial-ack"
+	msgError        = "mmm.error"
+
+	msgDASPartial     = "das.partial"
+	msgDASIndexTables = "das.index-tables"
+	msgDASServerQuery = "das.server-query"
+	msgDASResult      = "das.result"
+
+	msgCommOffer     = "comm.offer"
+	msgCommCross     = "comm.cross"
+	msgCommCrossBack = "comm.cross-back"
+	msgCommResult    = "comm.result"
+
+	msgPMCoeffs = "pm.coeffs"
+	msgPMCross  = "pm.cross"
+	msgPMEvals  = "pm.evals"
+	msgPMResult = "pm.result"
+
+	msgMCPartial = "mc.partial"
+	msgMCResult  = "mc.result"
+
+	msgPTPartial = "pt.partial"
+	msgPTResult  = "pt.result"
+)
+
+// errorBody is the payload of msgError.
+type errorBody struct {
+	Message string
+}
+
+// sendError best-effort reports a failure to a peer so it can abort
+// instead of hanging.
+func sendError(conn transport.Conn, err error) {
+	m, e := transport.NewMessage(msgError, errorBody{Message: err.Error()})
+	if e != nil {
+		return
+	}
+	_ = conn.Send(m)
+}
+
+// recvExpect receives the next message, turning msgError payloads into
+// errors and enforcing the expected type tag.
+func recvExpect(conn transport.Conn, typ string) (transport.Message, error) {
+	m, err := conn.Recv()
+	if err != nil {
+		return transport.Message{}, err
+	}
+	if m.Type == msgError {
+		var body errorBody
+		if err := transport.Decode(m.Body, &body); err != nil {
+			return transport.Message{}, fmt.Errorf("mediation: peer error (undecodable)")
+		}
+		return transport.Message{}, fmt.Errorf("mediation: peer error: %s", body.Message)
+	}
+	if m.Type != typ {
+		return transport.Message{}, fmt.Errorf("mediation: expected %q, got %q", typ, m.Type)
+	}
+	return m, nil
+}
+
+// sendMsg encodes and sends a payload in one step.
+func sendMsg(conn transport.Conn, typ string, v any) error {
+	m, err := transport.NewMessage(typ, v)
+	if err != nil {
+		return err
+	}
+	return conn.Send(m)
+}
+
+// recvInto receives a message of the given type and decodes its body.
+func recvInto(conn transport.Conn, typ string, v any) error {
+	m, err := recvExpect(conn, typ)
+	if err != nil {
+		return err
+	}
+	return transport.Decode(m.Body, v)
+}
+
+// stopwatch accumulates a party's active compute time into the ledger
+// (item "compute-ns"), excluding time spent blocked on the network. The
+// Section 6 cost matrix reads these.
+type stopwatch struct {
+	ledger *leakage.Ledger
+	party  string
+	total  time.Duration
+}
+
+func newStopwatch(l *leakage.Ledger, party string) *stopwatch {
+	return &stopwatch{ledger: l, party: party}
+}
+
+// track runs f while accumulating its duration.
+func (s *stopwatch) track(f func() error) error {
+	start := time.Now()
+	err := f()
+	s.total += time.Since(start)
+	s.ledger.Observe(s.party, "compute-ns", s.total.Nanoseconds())
+	return err
+}

@@ -1,0 +1,101 @@
+package mediation
+
+import (
+	"github.com/secmediation/secmediation/internal/algebra"
+	"github.com/secmediation/secmediation/internal/relation"
+)
+
+// The selection-pushdown extension for the DAS protocol: conjunctive
+// "column op literal" conditions from the global WHERE clause are
+// translated by the client (the query translator) into per-attribute
+// allowed-index sets that the mediator applies to the encrypted relations
+// before the index join. The mediator-side filter is a sound
+// over-approximation — the client query q_C still applies the exact WHERE
+// afterwards (postProcess) — so results are unchanged while the superset
+// the client must decrypt shrinks.
+//
+// Enabling Params.Pushdown reveals strictly more to the mediator: it
+// learns which encrypted rows fall into predicate-satisfying partitions.
+// That is the same class of inference the paper's Section 6 partitioning
+// discussion covers (refs [15],[8]); medbench quantifies the trade-off.
+
+// pushCondition is one pushable conjunct: Column op Bound.
+type pushCondition struct {
+	Column string
+	Op     algebra.CompareOp
+	Bound  relation.Value
+}
+
+// extractPushdown collects the top-level AND conjuncts of the form
+// "column op literal" (either operand order) whose column resolves in the
+// given schema. Disjunctions and negations are left to client-side
+// post-filtering — pushing them down is not sound conjunct-wise.
+func extractPushdown(where algebra.Expr, schema relation.Schema) []pushCondition {
+	var out []pushCondition
+	var walk func(e algebra.Expr)
+	walk = func(e algebra.Expr) {
+		switch t := e.(type) {
+		case algebra.And:
+			walk(t.Left)
+			walk(t.Right)
+		case algebra.Compare:
+			col, okc := t.Left.(algebra.ColumnRef)
+			lit, okl := t.Right.(algebra.Literal)
+			op := t.Op
+			if !okc || !okl {
+				// literal op column: flip the comparison.
+				lit2, okl2 := t.Left.(algebra.Literal)
+				col2, okc2 := t.Right.(algebra.ColumnRef)
+				if !okl2 || !okc2 {
+					return
+				}
+				col, lit = col2, lit2
+				op = flipCompare(t.Op)
+			}
+			i := schema.IndexOf(col.Name)
+			if i < 0 {
+				return
+			}
+			if schema.Columns[i].Kind != lit.Value.Kind() {
+				return
+			}
+			out = append(out, pushCondition{Column: schema.Columns[i].Name, Op: op, Bound: lit.Value})
+		}
+	}
+	if where != nil {
+		walk(where)
+	}
+	return out
+}
+
+func flipCompare(op algebra.CompareOp) algebra.CompareOp {
+	switch op {
+	case algebra.OpLt:
+		return algebra.OpGt
+	case algebra.OpLe:
+		return algebra.OpGe
+	case algebra.OpGt:
+		return algebra.OpLt
+	case algebra.OpGe:
+		return algebra.OpLe
+	default:
+		return op // Eq and Ne are symmetric
+	}
+}
+
+// filterColumns returns the distinct condition columns not already in the
+// join column list — the extra attributes the source must index.
+func filterColumns(conds []pushCondition, joinCols []string) []string {
+	seen := map[string]bool{}
+	for _, c := range joinCols {
+		seen[c] = true
+	}
+	var out []string
+	for _, c := range conds {
+		if !seen[c.Column] {
+			seen[c.Column] = true
+			out = append(out, c.Column)
+		}
+	}
+	return out
+}

@@ -1,0 +1,146 @@
+package mediation
+
+import (
+	"crypto/rsa"
+	"fmt"
+	"time"
+
+	"github.com/secmediation/secmediation/internal/algebra"
+	"github.com/secmediation/secmediation/internal/credential"
+	"github.com/secmediation/secmediation/internal/leakage"
+	"github.com/secmediation/secmediation/internal/relation"
+	"github.com/secmediation/secmediation/internal/sqlparse"
+	"github.com/secmediation/secmediation/internal/transport"
+)
+
+// Source is a datasource party: it owns relations, enforces credential-
+// based access control, and executes its side of the delivery-phase
+// protocols.
+type Source struct {
+	// Name identifies the source (S1, S2, ... in the paper).
+	Name string
+	// Catalog holds the source's relations.
+	Catalog algebra.MapCatalog
+	// Policies maps relation names to access policies. A relation without
+	// a policy is not served (deny by default).
+	Policies map[string]*credential.Policy
+	// TrustedCAs are the certification-authority keys this source accepts.
+	TrustedCAs []*rsa.PublicKey
+	// Ledger optionally records leakage and primitive usage.
+	Ledger *leakage.Ledger
+	// Now is an injectable clock for credential validation (defaults to
+	// time.Now).
+	Now func() time.Time
+}
+
+func (s *Source) party() string { return leakage.PartySource(s.Name) }
+
+func (s *Source) now() time.Time {
+	if s.Now != nil {
+		return s.Now()
+	}
+	return time.Now()
+}
+
+// Serve handles one mediation session over the link to the mediator:
+// authorization (Listing 1, step 4) followed by the protocol-specific
+// delivery phase. It returns nil when the session ends normally, including
+// the access-denied case (which is a protocol outcome, not a server
+// failure).
+func (s *Source) Serve(conn transport.Conn) error {
+	var pq PartialQuery
+	if err := recvInto(conn, msgPartialQuery, &pq); err != nil {
+		return fmt.Errorf("mediation: source %s: %w", s.Name, err)
+	}
+	rel, clientKey, denyReason, err := s.executePartial(&pq)
+	if err != nil {
+		sendError(conn, err)
+		return fmt.Errorf("mediation: source %s: %w", s.Name, err)
+	}
+	if denyReason != "" {
+		return sendMsg(conn, msgPartialAck, PartialAck{Granted: false, Reason: denyReason})
+	}
+	if err := sendMsg(conn, msgPartialAck, PartialAck{Granted: true, Schema: rel.Schema()}); err != nil {
+		return err
+	}
+	watch := newStopwatch(s.Ledger, s.party())
+	if pq.Union {
+		if err := s.serveMobileCode(conn, &pq, rel, clientKey, watch); err != nil {
+			sendError(conn, err)
+			return fmt.Errorf("mediation: source %s: %w", s.Name, err)
+		}
+		return nil
+	}
+	if pq.Aggregate != nil {
+		if err := s.serveAggregate(conn, &pq, rel, watch); err != nil {
+			sendError(conn, err)
+			return fmt.Errorf("mediation: source %s: %w", s.Name, err)
+		}
+		return nil
+	}
+	switch pq.Protocol {
+	case ProtocolPlaintext:
+		err = s.servePlaintext(conn, rel)
+	case ProtocolMobileCode:
+		err = s.serveMobileCode(conn, &pq, rel, clientKey, watch)
+	case ProtocolDAS:
+		err = s.serveDAS(conn, &pq, rel, clientKey, watch)
+	case ProtocolCommutative:
+		err = s.serveCommutative(conn, &pq, rel, clientKey, watch)
+	case ProtocolPM:
+		err = s.servePM(conn, &pq, rel, watch)
+	default:
+		err = fmt.Errorf("unknown protocol %d", pq.Protocol)
+	}
+	if err != nil {
+		sendError(conn, err)
+		return fmt.Errorf("mediation: source %s: %w", s.Name, err)
+	}
+	return nil
+}
+
+// executePartial runs Listing 1 step 4: credential check, then execution
+// of q_i against the catalog, with the policy's row filter applied. The
+// returned denyReason is non-empty when access is denied (not an error).
+func (s *Source) executePartial(pq *PartialQuery) (*relation.Relation, *rsa.PublicKey, string, error) {
+	pol, ok := s.Policies[pq.Relation]
+	if !ok {
+		return nil, nil, fmt.Sprintf("source %s serves no relation %q", s.Name, pq.Relation), nil
+	}
+	decision := pol.Check(pq.Credentials, s.TrustedCAs, s.now())
+	if !decision.Granted {
+		return nil, nil, decision.Reason, nil
+	}
+	q, err := sqlparse.Parse(pq.Query)
+	if err != nil {
+		return nil, nil, "", fmt.Errorf("bad partial query: %w", err)
+	}
+	if q.Right != "" || q.Left != pq.Relation {
+		return nil, nil, "", fmt.Errorf("partial query %q does not match relation %q", pq.Query, pq.Relation)
+	}
+	out, err := q.Tree().Eval(s.Catalog)
+	if err != nil {
+		return nil, nil, "", err
+	}
+	out, err = decision.ApplyFilter(out)
+	if err != nil {
+		return nil, nil, "", err
+	}
+	// Validate the join attributes exist before entering the delivery
+	// phase (aggregation partial queries have none).
+	for _, c := range pq.JoinCols {
+		if out.Schema().IndexOf(c) < 0 {
+			return nil, nil, "", fmt.Errorf("relation %s has no join column %q", pq.Relation, c)
+		}
+	}
+	if len(pq.JoinCols) == 0 && pq.Aggregate == nil && !pq.Union {
+		return nil, nil, "", fmt.Errorf("empty join attribute set")
+	}
+	return out, decision.ClientKey, "", nil
+}
+
+// servePlaintext ships the partial result in the clear (trusted-mediator
+// baseline).
+func (s *Source) servePlaintext(conn transport.Conn, rel *relation.Relation) error {
+	return sendMsg(conn, msgPTPartial, toWire(rel))
+}

@@ -1,0 +1,86 @@
+package mediation
+
+import (
+	"crypto/rsa"
+	"testing"
+
+	"github.com/secmediation/secmediation/internal/algebra"
+	"github.com/secmediation/secmediation/internal/credential"
+	rel "github.com/secmediation/secmediation/internal/relation"
+	"github.com/secmediation/secmediation/internal/transport"
+)
+
+// TestTCPDeployment runs the full credential-based mediation over real TCP
+// sockets: two source listeners, a mediator listener, and a client dialing
+// in — the distributed topology of Figure 2.
+func TestTCPDeployment(t *testing.T) {
+	f := getFixture(t)
+	r1, r2 := testRelations(t)
+
+	// Sources listen and serve one session per accepted connection.
+	startSource := func(src *Source) *transport.Listener {
+		l, err := transport.Listen("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		go func() {
+			for {
+				conn, err := l.Accept()
+				if err != nil {
+					return
+				}
+				go func() {
+					defer conn.Close()
+					_ = src.Serve(conn)
+				}()
+			}
+		}()
+		t.Cleanup(func() { l.Close() })
+		return l
+	}
+	l1 := startSource(&Source{Name: "S1", Catalog: algebra.MapCatalog{"R1": r1},
+		Policies: map[string]*credential.Policy{"R1": policyFor("R1")}, TrustedCAs: []*rsa.PublicKey{f.ca.PublicKey()}})
+	l2 := startSource(&Source{Name: "S2", Catalog: algebra.MapCatalog{"R2": r2},
+		Policies: map[string]*credential.Policy{"R2": policyFor("R2")}, TrustedCAs: []*rsa.PublicKey{f.ca.PublicKey()}})
+
+	med := &Mediator{
+		Schemas: map[string]rel.Schema{"R1": r1.Schema(), "R2": r2.Schema()},
+		Routes: map[string]Dialer{
+			"R1": func() (transport.Conn, error) { return transport.Dial(l1.Addr()) },
+			"R2": func() (transport.Conn, error) { return transport.Dial(l2.Addr()) },
+		},
+	}
+	lm, err := transport.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { lm.Close() })
+	go func() {
+		for {
+			conn, err := lm.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer conn.Close()
+				_ = med.HandleSession(conn)
+			}()
+		}
+	}()
+
+	want := expectedJoin(t)
+	for _, proto := range []Protocol{ProtocolDAS, ProtocolCommutative, ProtocolPM} {
+		conn, err := transport.Dial(lm.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := f.client.Query(conn, fixtureSQL, proto, fastParams())
+		conn.Close()
+		if err != nil {
+			t.Fatalf("%v over TCP: %v", proto, err)
+		}
+		if !got.EqualMultiset(want) {
+			t.Errorf("%v over TCP mismatch:\n%v", proto, got)
+		}
+	}
+}

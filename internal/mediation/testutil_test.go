@@ -1,0 +1,9 @@
+package mediation
+
+import (
+	"crypto/rand"
+	"io"
+)
+
+// cryptoRand returns the process CSPRNG; a helper so tests read clearly.
+func cryptoRand() io.Reader { return rand.Reader }

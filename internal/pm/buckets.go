@@ -1,0 +1,103 @@
+package pm
+
+import (
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"math/big"
+
+	"github.com/secmediation/secmediation/internal/crypto/paillier"
+)
+
+// BucketIndex assigns a root to one of b buckets by hashing; chooser and
+// sender agree on the assignment because it depends only on the root.
+func BucketIndex(root *big.Int, b int) int {
+	rb := make([]byte, RootBytes)
+	root.FillBytes(rb)
+	sum := sha256.Sum256(append([]byte("secmediation/pm-bucket\x00"), rb...))
+	return int(binary.BigEndian.Uint64(sum[:8]) % uint64(b))
+}
+
+// Buckets is FNP's efficiency optimization: the chooser hashes its inputs
+// into b buckets and interpolates one low-degree polynomial per bucket,
+// all padded to a uniform degree so bucket loads stay hidden. The sender
+// evaluates only the polynomial of the bucket its own value falls into,
+// reducing per-evaluation cost from Θ(|dom|) to Θ(max-load).
+type Buckets struct {
+	// Polys holds one polynomial per bucket, uniform degree.
+	Polys []*Polynomial
+	// N is the shared modulus.
+	N *big.Int
+}
+
+// BuildBuckets distributes the roots over b buckets and pads every bucket
+// with random filler roots (negligibly likely to collide with a real value
+// root) up to the maximum load.
+func BuildBuckets(roots []*big.Int, b int, n *big.Int) (*Buckets, error) {
+	if b < 1 {
+		return nil, fmt.Errorf("pm: bucket count %d < 1", b)
+	}
+	if len(roots) == 0 {
+		return nil, fmt.Errorf("pm: no roots")
+	}
+	groups := make([][]*big.Int, b)
+	for _, r := range roots {
+		i := BucketIndex(r, b)
+		groups[i] = append(groups[i], r)
+	}
+	maxLoad := 1
+	for _, g := range groups {
+		if len(g) > maxLoad {
+			maxLoad = len(g)
+		}
+	}
+	bs := &Buckets{N: n, Polys: make([]*Polynomial, b)}
+	limit := new(big.Int).Lsh(big.NewInt(1), 8*RootBytes)
+	for i, g := range groups {
+		padded := append([]*big.Int(nil), g...)
+		for len(padded) < maxLoad {
+			f, err := rand.Int(rand.Reader, limit)
+			if err != nil {
+				return nil, fmt.Errorf("pm: filler root: %w", err)
+			}
+			padded = append(padded, f)
+		}
+		p, err := FromRoots(padded, n)
+		if err != nil {
+			return nil, err
+		}
+		bs.Polys[i] = p
+	}
+	return bs, nil
+}
+
+// MaxDegree returns the uniform per-bucket polynomial degree.
+func (b *Buckets) MaxDegree() int { return b.Polys[0].Degree() }
+
+// EncryptedBuckets is the ciphertext form shipped to the sender.
+type EncryptedBuckets struct {
+	Polys []*EncryptedPolynomial
+}
+
+// Encrypt encrypts every bucket polynomial.
+func (b *Buckets) Encrypt(pk *paillier.PublicKey) (*EncryptedBuckets, error) {
+	out := &EncryptedBuckets{Polys: make([]*EncryptedPolynomial, len(b.Polys))}
+	for i, p := range b.Polys {
+		ep, err := p.Encrypt(pk)
+		if err != nil {
+			return nil, err
+		}
+		out.Polys[i] = ep
+	}
+	return out, nil
+}
+
+// MaskedEval evaluates against the bucket the root belongs to.
+func (eb *EncryptedBuckets) MaskedEval(pk *paillier.PublicKey, a, m *big.Int) (*paillier.Ciphertext, error) {
+	if len(eb.Polys) == 0 {
+		return nil, fmt.Errorf("pm: empty encrypted buckets")
+	}
+	i := BucketIndex(a, len(eb.Polys))
+	return eb.Polys[i].MaskedEval(pk, a, m)
+}

@@ -1,0 +1,101 @@
+package pm
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"math/big"
+
+	"github.com/secmediation/secmediation/internal/crypto/paillier"
+	"github.com/secmediation/secmediation/internal/relation"
+)
+
+// tagBytes is the width of the integrity tag embedded in packed messages.
+// The paper's client recognizes matches as decryptions "of the form
+// (a_k ‖ Tup(a_k))"; the tag makes that form robustly recognizable —
+// a random (non-matching) decryption passes with probability 2^-64.
+const tagBytes = 8
+
+// lenBytes encodes the payload length inside the packed message.
+const lenBytes = 4
+
+// Codec packs (value-root ‖ tag ‖ payload) messages into the Paillier
+// plaintext space with a fixed byte width, so that decryption can parse
+// them back without ambiguity.
+type Codec struct {
+	// Width is the fixed message width in bytes; every packed message is
+	// an integer whose Width-byte big-endian representation carries the
+	// fields.
+	Width int
+}
+
+// NewCodec derives the codec for a Paillier key: the width is chosen so
+// that every packed message stays strictly below n.
+func NewCodec(pk *paillier.PublicKey) (*Codec, error) {
+	w := (pk.N.BitLen() - 16) / 8
+	if w < RootBytes+tagBytes+lenBytes+1 {
+		return nil, fmt.Errorf("pm: modulus too small for message packing (%d bits)", pk.N.BitLen())
+	}
+	return &Codec{Width: w}, nil
+}
+
+// MaxPayload returns the maximum payload size in bytes.
+func (c *Codec) MaxPayload() int { return c.Width - RootBytes - tagBytes - lenBytes }
+
+func tagOf(root []byte) []byte {
+	sum := sha256.Sum256(append([]byte("secmediation/pm-tag\x00"), root...))
+	return sum[:tagBytes]
+}
+
+// Pack builds the plaintext integer for (root ‖ payload). The root is a
+// value-root encoding (RootOfValue / RootOfBytes).
+func (c *Codec) Pack(r *big.Int, payload []byte) (*big.Int, error) {
+	if len(payload) > c.MaxPayload() {
+		return nil, fmt.Errorf("pm: payload of %d bytes exceeds maximum %d (use the hybrid-payload mode of footnote 2)", len(payload), c.MaxPayload())
+	}
+	if r.Sign() < 0 || r.BitLen() > 8*RootBytes {
+		return nil, fmt.Errorf("pm: root out of range")
+	}
+	root := make([]byte, RootBytes)
+	r.FillBytes(root)
+	buf := make([]byte, c.Width)
+	copy(buf, root)
+	copy(buf[RootBytes:], tagOf(root))
+	binary.BigEndian.PutUint32(buf[RootBytes+tagBytes:], uint32(len(payload)))
+	copy(buf[RootBytes+tagBytes+lenBytes:], payload)
+	return new(big.Int).SetBytes(buf), nil
+}
+
+// PackValue is Pack over a single attribute value.
+func (c *Codec) PackValue(v relation.Value, payload []byte) (*big.Int, error) {
+	return c.Pack(RootOfValue(v), payload)
+}
+
+// Unpack parses a decrypted plaintext. ok is false when the message does
+// not carry the (root ‖ tag ‖ payload) structure — i.e. when the masked
+// evaluation did not hit a polynomial root and decrypted to randomness.
+func (c *Codec) Unpack(m *big.Int) (root *big.Int, payload []byte, ok bool) {
+	if m.Sign() < 0 || m.BitLen() > 8*c.Width {
+		return nil, nil, false
+	}
+	buf := make([]byte, c.Width)
+	m.FillBytes(buf)
+	rootB := buf[:RootBytes]
+	if !bytes.Equal(buf[RootBytes:RootBytes+tagBytes], tagOf(rootB)) {
+		return nil, nil, false
+	}
+	n := int(binary.BigEndian.Uint32(buf[RootBytes+tagBytes:]))
+	if n > c.MaxPayload() {
+		return nil, nil, false
+	}
+	start := RootBytes + tagBytes + lenBytes
+	payload = buf[start : start+n]
+	// Trailing bytes must be zero padding.
+	for _, b := range buf[start+n:] {
+		if b != 0 {
+			return nil, nil, false
+		}
+	}
+	return new(big.Int).SetBytes(rootB), payload, true
+}

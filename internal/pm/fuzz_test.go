@@ -1,0 +1,41 @@
+package pm
+
+import (
+	"crypto/rand"
+	"math/big"
+	"testing"
+
+	"github.com/secmediation/secmediation/internal/crypto/paillier"
+)
+
+// FuzzUnpack: Unpack over arbitrary integers must never panic and must
+// only accept properly tagged messages.
+func FuzzUnpack(f *testing.F) {
+	key, err := paillier.GenerateKey(rand.Reader, 512)
+	if err != nil {
+		f.Fatal(err)
+	}
+	codec, err := NewCodec(&key.PublicKey)
+	if err != nil {
+		f.Fatal(err)
+	}
+	valid, _ := codec.Pack(big.NewInt(12345), []byte("payload"))
+	f.Add(valid.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{0xFF})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m := new(big.Int).SetBytes(data)
+		root, payload, ok := codec.Unpack(m)
+		if !ok {
+			return
+		}
+		// Anything accepted must repack to the same integer.
+		re, err := codec.Pack(root, payload)
+		if err != nil {
+			t.Fatalf("accepted message does not repack: %v", err)
+		}
+		if re.Cmp(m) != 0 {
+			t.Fatal("repacked message differs")
+		}
+	})
+}

@@ -1,0 +1,302 @@
+package pm
+
+import (
+	"crypto/rand"
+	"math/big"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"github.com/secmediation/secmediation/internal/crypto/paillier"
+	rel "github.com/secmediation/secmediation/internal/relation"
+)
+
+var (
+	keyOnce sync.Once
+	tk      *paillier.PrivateKey
+)
+
+func testKey(t testing.TB) *paillier.PrivateKey {
+	t.Helper()
+	keyOnce.Do(func() {
+		var err error
+		tk, err = paillier.GenerateKey(rand.Reader, 512)
+		if err != nil {
+			panic(err)
+		}
+	})
+	return tk
+}
+
+func TestRootOfValueDeterministicAndDistinct(t *testing.T) {
+	a := RootOfValue(rel.Int(7))
+	b := RootOfValue(rel.Int(7))
+	c := RootOfValue(rel.Int(8))
+	d := RootOfValue(rel.String_("7"))
+	if a.Cmp(b) != 0 {
+		t.Error("root not deterministic")
+	}
+	if a.Cmp(c) == 0 || a.Cmp(d) == 0 {
+		t.Error("distinct values share a root")
+	}
+	if a.BitLen() > 8*RootBytes {
+		t.Error("root exceeds RootBytes")
+	}
+}
+
+func TestFromRootsHasExactRoots(t *testing.T) {
+	k := testKey(t)
+	roots := []*big.Int{RootOfValue(rel.Int(1)), RootOfValue(rel.Int(2)), RootOfValue(rel.Int(3))}
+	p, err := FromRoots(roots, k.N)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Degree() != 3 {
+		t.Errorf("degree = %d, want 3", p.Degree())
+	}
+	for _, r := range roots {
+		if p.Eval(r).Sign() != 0 {
+			t.Errorf("P(root) != 0")
+		}
+	}
+	if p.Eval(RootOfValue(rel.Int(99))).Sign() == 0 {
+		t.Error("P(non-root) == 0")
+	}
+	if _, err := FromRoots(nil, k.N); err == nil {
+		t.Error("empty root list accepted")
+	}
+}
+
+// Property: FromRoots is a correct expansion — P(x) = Π(a_i − x) for
+// random evaluation points.
+func TestFromRootsMatchesProductForm(t *testing.T) {
+	k := testKey(t)
+	f := func(rootSeeds []uint16, xSeed uint32) bool {
+		if len(rootSeeds) == 0 || len(rootSeeds) > 12 {
+			return true
+		}
+		roots := make([]*big.Int, len(rootSeeds))
+		for i, s := range rootSeeds {
+			roots[i] = big.NewInt(int64(s))
+		}
+		p, err := FromRoots(roots, k.N)
+		if err != nil {
+			return false
+		}
+		x := big.NewInt(int64(xSeed))
+		want := big.NewInt(1)
+		for _, a := range roots {
+			f := new(big.Int).Sub(a, x)
+			want.Mul(want, f)
+			want.Mod(want, k.N)
+		}
+		return p.Eval(x).Cmp(want) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncryptedEvaluationMatchesPlain(t *testing.T) {
+	k := testKey(t)
+	roots := []*big.Int{big.NewInt(11), big.NewInt(22), big.NewInt(33)}
+	p, _ := FromRoots(roots, k.N)
+	ep, err := p.Encrypt(&k.PublicKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []*big.Int{big.NewInt(11), big.NewInt(5), big.NewInt(1 << 30)} {
+		ct, err := ep.EvalEncrypted(&k.PublicKey, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := k.Decrypt(ct)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Cmp(p.Eval(x)) != 0 {
+			t.Errorf("E-eval(%v) = %v, plain = %v", x, got, p.Eval(x))
+		}
+	}
+}
+
+func TestEncryptModulusMismatch(t *testing.T) {
+	k := testKey(t)
+	p, _ := FromRoots([]*big.Int{big.NewInt(5)}, big.NewInt(999983))
+	if _, err := p.Encrypt(&k.PublicKey); err == nil {
+		t.Error("modulus mismatch accepted")
+	}
+}
+
+func TestMaskedEvalRootRevealsPayload(t *testing.T) {
+	k := testKey(t)
+	codec, err := NewCodec(&k.PublicKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1, v2 := rel.Int(100), rel.Int(200)
+	roots := []*big.Int{RootOfValue(v1), RootOfValue(v2)}
+	p, _ := FromRoots(roots, k.N)
+	ep, _ := p.Encrypt(&k.PublicKey)
+
+	// Root hit: payload recoverable.
+	m, err := codec.PackValue(v1, []byte("tuples-of-100"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct, err := ep.MaskedEval(&k.PublicKey, RootOfValue(v1), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := k.Decrypt(ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, payload, ok := codec.Unpack(dec)
+	if !ok || string(payload) != "tuples-of-100" || root.Cmp(RootOfValue(v1)) != 0 {
+		t.Errorf("root-hit unpack: ok=%v payload=%q", ok, payload)
+	}
+
+	// Non-root: decryption is garbage and Unpack rejects it.
+	v3 := rel.Int(300)
+	m3, _ := codec.PackValue(v3, []byte("tuples-of-300"))
+	ct3, err := ep.MaskedEval(&k.PublicKey, RootOfValue(v3), m3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec3, _ := k.Decrypt(ct3)
+	if _, _, ok := codec.Unpack(dec3); ok {
+		t.Error("non-root masked eval unpacked as valid (2^-64 event)")
+	}
+}
+
+func TestCodecPackUnpackRoundtrip(t *testing.T) {
+	k := testKey(t)
+	codec, _ := NewCodec(&k.PublicKey)
+	f := func(id int64, payload []byte) bool {
+		if len(payload) > codec.MaxPayload() {
+			payload = payload[:codec.MaxPayload()]
+		}
+		m, err := codec.PackValue(rel.Int(id), payload)
+		if err != nil {
+			return false
+		}
+		root, got, ok := codec.Unpack(m)
+		if !ok || root.Cmp(RootOfValue(rel.Int(id))) != 0 {
+			return false
+		}
+		if len(got) != len(payload) {
+			return false
+		}
+		for i := range got {
+			if got[i] != payload[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCodecRejects(t *testing.T) {
+	k := testKey(t)
+	codec, _ := NewCodec(&k.PublicKey)
+	// Oversized payload.
+	if _, err := codec.PackValue(rel.Int(1), make([]byte, codec.MaxPayload()+1)); err == nil {
+		t.Error("oversized payload packed")
+	}
+	// Random plaintexts unpack as garbage.
+	for i := 0; i < 50; i++ {
+		r, _ := k.RandomPlaintext(rand.Reader)
+		if _, _, ok := codec.Unpack(r); ok {
+			t.Fatal("random plaintext unpacked as valid")
+		}
+	}
+	// Negative and oversized integers rejected.
+	if _, _, ok := codec.Unpack(big.NewInt(-1)); ok {
+		t.Error("negative unpacked")
+	}
+	huge := new(big.Int).Lsh(big.NewInt(1), uint(8*codec.Width+1))
+	if _, _, ok := codec.Unpack(huge); ok {
+		t.Error("oversized unpacked")
+	}
+}
+
+func TestNewCodecSmallKey(t *testing.T) {
+	small, err := paillier.GenerateKey(rand.Reader, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewCodec(&small.PublicKey); err == nil {
+		t.Error("64-bit key accepted for packing")
+	}
+}
+
+func TestBucketsEndToEnd(t *testing.T) {
+	k := testKey(t)
+	codec, _ := NewCodec(&k.PublicKey)
+	var roots []*big.Int
+	for i := 0; i < 20; i++ {
+		roots = append(roots, RootOfValue(rel.Int(int64(i))))
+	}
+	bs, err := BuildBuckets(roots, 5, k.N)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bs.Polys) != 5 {
+		t.Fatalf("buckets = %d, want 5", len(bs.Polys))
+	}
+	deg := bs.MaxDegree()
+	for _, p := range bs.Polys {
+		if p.Degree() != deg {
+			t.Error("bucket degrees not uniform (loads leak)")
+		}
+	}
+	eb, err := bs.Encrypt(&k.PublicKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Match: value 7 is in the chooser set.
+	m, _ := codec.PackValue(rel.Int(7), []byte("p7"))
+	ct, err := eb.MaskedEval(&k.PublicKey, RootOfValue(rel.Int(7)), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, _ := k.Decrypt(ct)
+	if _, payload, ok := codec.Unpack(dec); !ok || string(payload) != "p7" {
+		t.Errorf("bucketed match failed: ok=%v payload=%q", ok, payload)
+	}
+	// Non-match.
+	m2, _ := codec.PackValue(rel.Int(999), []byte("p999"))
+	ct2, _ := eb.MaskedEval(&k.PublicKey, RootOfValue(rel.Int(999)), m2)
+	dec2, _ := k.Decrypt(ct2)
+	if _, _, ok := codec.Unpack(dec2); ok {
+		t.Error("bucketed non-match unpacked as valid")
+	}
+}
+
+func TestBuildBucketsValidation(t *testing.T) {
+	k := testKey(t)
+	if _, err := BuildBuckets(nil, 3, k.N); err == nil {
+		t.Error("no roots accepted")
+	}
+	if _, err := BuildBuckets([]*big.Int{big.NewInt(1)}, 0, k.N); err == nil {
+		t.Error("0 buckets accepted")
+	}
+}
+
+func TestBucketIndexStable(t *testing.T) {
+	r := RootOfValue(rel.String_("key"))
+	if BucketIndex(r, 7) != BucketIndex(r, 7) {
+		t.Error("bucket index not deterministic")
+	}
+	spread := map[int]bool{}
+	for i := 0; i < 100; i++ {
+		spread[BucketIndex(RootOfValue(rel.Int(int64(i))), 8)] = true
+	}
+	if len(spread) < 4 {
+		t.Errorf("bucket assignment badly skewed: %v", spread)
+	}
+}

@@ -1,0 +1,154 @@
+// Package pm implements the private-matching substrate of the paper's
+// Section 5 protocol (after Freedman, Nissim, Pinkas, EUROCRYPT'04):
+// polynomials over the Paillier plaintext space whose roots encode the
+// active domain of the join attribute, oblivious (encrypted-coefficient)
+// polynomial evaluation, and the "a′ ‖ payload" message packing with which
+// a source attaches tuple-set payloads to masked evaluations
+//
+//	e = E(r·P(a′) + (a′ ‖ payload)).
+//
+// It also implements FNP's bucketing optimization (hashing inputs into
+// buckets with low-degree polynomials), which the paper alludes to when
+// noting that "Freedman et al. show how the polynomial can be evaluated
+// efficiently".
+package pm
+
+import (
+	"crypto/rand"
+	"crypto/sha256"
+	"fmt"
+	"math/big"
+
+	"github.com/secmediation/secmediation/internal/crypto/paillier"
+	"github.com/secmediation/secmediation/internal/relation"
+)
+
+// RootBytes is the width of a value root: values are mapped into Z_n by a
+// truncated SHA-256 of their canonical encoding, so both sources derive
+// identical roots for identical join values.
+const RootBytes = 16
+
+// RootOfBytes maps a canonical byte encoding (a single value's encoding or
+// a composite join key's) to its polynomial-root encoding.
+func RootOfBytes(data []byte) *big.Int {
+	sum := sha256.Sum256(append([]byte("secmediation/pm-root\x00"), data...))
+	return new(big.Int).SetBytes(sum[:RootBytes])
+}
+
+// RootOfValue maps an attribute value to its polynomial-root encoding.
+func RootOfValue(v relation.Value) *big.Int {
+	return RootOfBytes(v.Encode(nil))
+}
+
+// Polynomial is P(x) = Σ c_k x^k with coefficients in Z_n, constructed as
+// Π (a_i − x) over the root encodings a_i.
+type Polynomial struct {
+	// Coeffs holds c_0 … c_d (degree order).
+	Coeffs []*big.Int
+	// N is the coefficient modulus (the Paillier modulus).
+	N *big.Int
+}
+
+// FromRoots expands Π (a_i − x) mod n. At least one root is required: the
+// protocols never ship an empty polynomial (an empty active domain aborts
+// earlier).
+func FromRoots(roots []*big.Int, n *big.Int) (*Polynomial, error) {
+	if len(roots) == 0 {
+		return nil, fmt.Errorf("pm: polynomial needs at least one root")
+	}
+	// Start with P(x) = 1 and multiply factor by factor. Factor (a − x)
+	// has coefficients [a, −1].
+	coeffs := []*big.Int{big.NewInt(1)}
+	for _, a := range roots {
+		am := new(big.Int).Mod(a, n)
+		next := make([]*big.Int, len(coeffs)+1)
+		for i := range next {
+			next[i] = new(big.Int)
+		}
+		for i, c := range coeffs {
+			// · a contributes to degree i
+			t := new(big.Int).Mul(c, am)
+			next[i].Add(next[i], t)
+			// · (−x) contributes to degree i+1
+			next[i+1].Sub(next[i+1], c)
+		}
+		for i := range next {
+			next[i].Mod(next[i], n)
+		}
+		coeffs = next
+	}
+	return &Polynomial{Coeffs: coeffs, N: n}, nil
+}
+
+// Degree returns the polynomial degree.
+func (p *Polynomial) Degree() int { return len(p.Coeffs) - 1 }
+
+// Eval evaluates P at x over Z_n (plaintext; used in tests and by the
+// bucketing dispatcher).
+func (p *Polynomial) Eval(x *big.Int) *big.Int {
+	xm := new(big.Int).Mod(x, p.N)
+	acc := new(big.Int)
+	for k := len(p.Coeffs) - 1; k >= 0; k-- {
+		acc.Mul(acc, xm)
+		acc.Add(acc, p.Coeffs[k])
+		acc.Mod(acc, p.N)
+	}
+	return acc
+}
+
+// EncryptedPolynomial is the ciphertext-coefficient form the chooser ships
+// to the sender.
+type EncryptedPolynomial struct {
+	Coeffs []*paillier.Ciphertext
+}
+
+// Encrypt encrypts every coefficient under the client's public key. The
+// number of coefficients — hence |domactive| — is visible to anyone who
+// sees the result (Table 1's mediator leakage for the PM protocol).
+func (p *Polynomial) Encrypt(pk *paillier.PublicKey) (*EncryptedPolynomial, error) {
+	if pk.N.Cmp(p.N) != 0 {
+		return nil, fmt.Errorf("pm: polynomial modulus differs from key modulus")
+	}
+	out := &EncryptedPolynomial{Coeffs: make([]*paillier.Ciphertext, len(p.Coeffs))}
+	for i, c := range p.Coeffs {
+		ct, err := pk.Encrypt(rand.Reader, c)
+		if err != nil {
+			return nil, err
+		}
+		out.Coeffs[i] = ct
+	}
+	return out, nil
+}
+
+// EvalEncrypted computes E(P(a)) from encrypted coefficients by Horner's
+// rule: acc ← acc·a + c_k, using MulConst and Add on ciphertexts.
+func (ep *EncryptedPolynomial) EvalEncrypted(pk *paillier.PublicKey, a *big.Int) (*paillier.Ciphertext, error) {
+	if len(ep.Coeffs) == 0 {
+		return nil, fmt.Errorf("pm: empty encrypted polynomial")
+	}
+	am := new(big.Int).Mod(a, pk.N)
+	acc := ep.Coeffs[len(ep.Coeffs)-1]
+	for k := len(ep.Coeffs) - 2; k >= 0; k-- {
+		acc = pk.Add(pk.MulConst(acc, am), ep.Coeffs[k])
+	}
+	return acc, nil
+}
+
+// MaskedEval computes e = E(r·P(a) + m) for a fresh random r — the
+// sender-side operation of Listing 4, steps 5/6. When P(a) = 0 the
+// ciphertext decrypts to m; otherwise to a value indistinguishable from
+// random.
+func (ep *EncryptedPolynomial) MaskedEval(pk *paillier.PublicKey, a, m *big.Int) (*paillier.Ciphertext, error) {
+	pa, err := ep.EvalEncrypted(pk, a)
+	if err != nil {
+		return nil, err
+	}
+	r, err := pk.RandomPlaintext(rand.Reader)
+	if err != nil {
+		return nil, err
+	}
+	masked := pk.AddPlain(pk.MulConst(pa, r), m)
+	// Re-randomize so the ciphertext is unlinkable to the coefficient
+	// ciphertexts even for m = 0 edge cases.
+	return pk.Rerandomize(rand.Reader, masked)
+}

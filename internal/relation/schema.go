@@ -1,0 +1,215 @@
+package relation
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Column describes one attribute of a relation schema.
+type Column struct {
+	// Name is the attribute name. It may be qualified ("R1.id") in schemas
+	// produced by join operations; base relations use unqualified names.
+	Name string
+	// Kind is the attribute type.
+	Kind Kind
+}
+
+// Schema is an ordered list of columns, optionally carrying the name of the
+// relation it describes. Schemas are immutable by convention: operations
+// return new schemas.
+type Schema struct {
+	// Relation is the relation name, used for qualification in joins and
+	// for mediator-side source localization. May be empty for derived
+	// relations.
+	Relation string
+	// Columns are the attributes in order.
+	Columns []Column
+}
+
+// NewSchema builds a schema after validating that the column names are
+// non-empty and unique and all kinds are valid.
+func NewSchema(relName string, cols ...Column) (Schema, error) {
+	seen := make(map[string]bool, len(cols))
+	for _, c := range cols {
+		if c.Name == "" {
+			return Schema{}, fmt.Errorf("relation: schema %s: empty column name", relName)
+		}
+		if c.Kind == KindInvalid {
+			return Schema{}, fmt.Errorf("relation: schema %s: column %s has invalid kind", relName, c.Name)
+		}
+		if seen[c.Name] {
+			return Schema{}, fmt.Errorf("relation: schema %s: duplicate column %s", relName, c.Name)
+		}
+		seen[c.Name] = true
+	}
+	return Schema{Relation: relName, Columns: append([]Column(nil), cols...)}, nil
+}
+
+// MustSchema is NewSchema but panics on error; intended for tests, examples
+// and compile-time-constant schemas.
+func MustSchema(relName string, cols ...Column) Schema {
+	s, err := NewSchema(relName, cols...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Arity returns the number of columns.
+func (s Schema) Arity() int { return len(s.Columns) }
+
+// IndexOf resolves a column name to its position, accepting either the
+// exact stored name or, for qualified lookups like "R.a", a match on the
+// unqualified suffix when the stored name is unqualified and the qualifier
+// equals the relation name. It returns -1 if the name does not resolve or
+// is ambiguous.
+func (s Schema) IndexOf(name string) int {
+	// Exact match first.
+	idx := -1
+	for i, c := range s.Columns {
+		if c.Name == name {
+			if idx >= 0 {
+				return -1 // ambiguous
+			}
+			idx = i
+		}
+	}
+	if idx >= 0 {
+		return idx
+	}
+	// Qualified lookup "rel.col" against unqualified stored names.
+	if rel, col, ok := splitQualified(name); ok {
+		if rel == s.Relation {
+			return s.IndexOf(col)
+		}
+		// Stored names may themselves be qualified; also try matching the
+		// suffix of qualified stored names ("R1.a" asked as "a").
+		return -1
+	}
+	// Unqualified lookup against qualified stored names.
+	for i, c := range s.Columns {
+		if _, col, ok := splitQualified(c.Name); ok && col == name {
+			if idx >= 0 {
+				return -1 // ambiguous
+			}
+			idx = i
+		}
+	}
+	return idx
+}
+
+func splitQualified(name string) (rel, col string, ok bool) {
+	i := strings.IndexByte(name, '.')
+	if i <= 0 || i == len(name)-1 {
+		return "", "", false
+	}
+	return name[:i], name[i+1:], true
+}
+
+// Column returns the column at position i.
+func (s Schema) Column(i int) Column { return s.Columns[i] }
+
+// KindOf returns the kind of the named column, or an error if it does not
+// resolve.
+func (s Schema) KindOf(name string) (Kind, error) {
+	i := s.IndexOf(name)
+	if i < 0 {
+		return KindInvalid, fmt.Errorf("relation: schema %s has no column %q", s.Relation, name)
+	}
+	return s.Columns[i].Kind, nil
+}
+
+// Equal reports whether two schemas have identical column lists (names and
+// kinds, in order). The relation name is ignored: it is metadata, not part
+// of relational compatibility.
+func (s Schema) Equal(o Schema) bool {
+	if len(s.Columns) != len(o.Columns) {
+		return false
+	}
+	for i := range s.Columns {
+		if s.Columns[i] != o.Columns[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Rename returns a copy of the schema with a new relation name.
+func (s Schema) Rename(relName string) Schema {
+	return Schema{Relation: relName, Columns: append([]Column(nil), s.Columns...)}
+}
+
+// Project returns the schema restricted to the named columns, in the given
+// order.
+func (s Schema) Project(names ...string) (Schema, error) {
+	cols := make([]Column, 0, len(names))
+	for _, n := range names {
+		i := s.IndexOf(n)
+		if i < 0 {
+			return Schema{}, fmt.Errorf("relation: project: schema %s has no column %q", s.Relation, n)
+		}
+		cols = append(cols, s.Columns[i])
+	}
+	return Schema{Relation: s.Relation, Columns: cols}, nil
+}
+
+// Qualify returns a copy of the schema where every unqualified column name
+// is prefixed with the relation name ("a" becomes "R.a"). Join results use
+// this to keep provenance, matching the paper's R1.Ajoin / R2.Ajoin
+// qualification.
+func (s Schema) Qualify() Schema {
+	cols := make([]Column, len(s.Columns))
+	for i, c := range s.Columns {
+		if _, _, ok := splitQualified(c.Name); !ok && s.Relation != "" {
+			c.Name = s.Relation + "." + c.Name
+		}
+		cols[i] = c
+	}
+	return Schema{Relation: s.Relation, Columns: cols}
+}
+
+// Concat returns the concatenation of two schemas (for cross products and
+// joins). Name collisions are resolved by qualifying both sides first.
+func (s Schema) Concat(o Schema) (Schema, error) {
+	a, b := s, o
+	if s.collidesWith(o) {
+		a, b = s.Qualify(), o.Qualify()
+		if a.collidesWith(b) {
+			return Schema{}, fmt.Errorf("relation: concat: unresolvable column collision between %s and %s", s.Relation, o.Relation)
+		}
+	}
+	cols := make([]Column, 0, len(a.Columns)+len(b.Columns))
+	cols = append(cols, a.Columns...)
+	cols = append(cols, b.Columns...)
+	return Schema{Columns: cols}, nil
+}
+
+func (s Schema) collidesWith(o Schema) bool {
+	names := make(map[string]bool, len(s.Columns))
+	for _, c := range s.Columns {
+		names[c.Name] = true
+	}
+	for _, c := range o.Columns {
+		if names[c.Name] {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders the schema as "R(a INT, b TEXT)".
+func (s Schema) String() string {
+	var b strings.Builder
+	b.WriteString(s.Relation)
+	b.WriteByte('(')
+	for i, c := range s.Columns {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(c.Name)
+		b.WriteByte(' ')
+		b.WriteString(c.Kind.String())
+	}
+	b.WriteByte(')')
+	return b.String()
+}

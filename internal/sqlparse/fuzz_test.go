@@ -1,0 +1,39 @@
+package sqlparse
+
+import "testing"
+
+// FuzzParse drives the lexer+parser with arbitrary input: Parse must never
+// panic, and any accepted query must render to SQL that re-parses to the
+// same rendering (idempotent normalization).
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"SELECT * FROM R",
+		"SELECT a, b FROM R JOIN S ON R.a = S.b WHERE x > 1 AND NOT y = 'z''q'",
+		"select * from R natural join S",
+		"SELECT SUM(x) FROM R WHERE ok = TRUE",
+		"SELECT COUNT(*) FROM R",
+		"SELECT * FROM R WHERE f = 1.5 OR f = -2",
+		"SELECT * FROM R WHERE (a = 1 AND b = 2) OR c <> 3;",
+		"'unterminated",
+		"SELECT",
+		"",
+		"🙂 SELECT * FROM R",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		q, err := Parse(input)
+		if err != nil {
+			return
+		}
+		rendered := q.String()
+		q2, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("accepted %q but rendering %q does not re-parse: %v", input, rendered, err)
+		}
+		if q2.String() != rendered {
+			t.Fatalf("rendering not idempotent: %q -> %q", rendered, q2.String())
+		}
+	})
+}

@@ -1,0 +1,129 @@
+// Package sqlparse is the "SQL2Algebra" front end of the mediation system:
+// a tokenizer and recursive-descent parser for the select-project-join SQL
+// fragment the mediator accepts, producing relational algebra trees
+// (internal/algebra) with partial queries at the leaves.
+//
+// Supported grammar (case-insensitive keywords):
+//
+//	query      := SELECT selectList FROM tableRef [WHERE expr]
+//	selectList := '*' | column (',' column)*
+//	tableRef   := ident
+//	           | ident NATURAL JOIN ident
+//	           | ident JOIN ident ON joinCond (AND joinCond)*
+//	joinCond   := column '=' column
+//	expr       := orExpr with AND/OR/NOT, parentheses, comparisons over
+//	              columns and literals (integers, floats, 'strings',
+//	              TRUE/FALSE)
+package sqlparse
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokKeyword
+	tokNumber
+	tokString
+	tokSymbol // punctuation and operators: , ( ) * = <> != < <= > >= .
+)
+
+type token struct {
+	kind tokenKind
+	text string // keywords upper-cased; idents preserved
+	pos  int    // byte offset in the input, for error messages
+}
+
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "JOIN": true, "ON": true,
+	"NATURAL": true, "AND": true, "OR": true, "NOT": true, "TRUE": true,
+	"FALSE": true, "AS": true, "DISTINCT": true, "UNION": true, "ALL": true,
+}
+
+// lex tokenizes the input. Errors carry the byte position.
+func lex(input string) ([]token, error) {
+	var toks []token
+	i := 0
+	n := len(input)
+	for i < n {
+		c := rune(input[i])
+		switch {
+		case unicode.IsSpace(c):
+			i++
+		case c == '\'': // string literal with '' escaping
+			j := i + 1
+			var sb strings.Builder
+			for {
+				if j >= n {
+					return nil, fmt.Errorf("sqlparse: unterminated string at offset %d", i)
+				}
+				if input[j] == '\'' {
+					if j+1 < n && input[j+1] == '\'' {
+						sb.WriteByte('\'')
+						j += 2
+						continue
+					}
+					break
+				}
+				sb.WriteByte(input[j])
+				j++
+			}
+			toks = append(toks, token{kind: tokString, text: sb.String(), pos: i})
+			i = j + 1
+		case c >= '0' && c <= '9' || (c == '-' && i+1 < n && input[i+1] >= '0' && input[i+1] <= '9'):
+			j := i + 1
+			for j < n && (input[j] >= '0' && input[j] <= '9' || input[j] == '.') {
+				j++
+			}
+			toks = append(toks, token{kind: tokNumber, text: input[i:j], pos: i})
+			i = j
+		case isIdentStart(c):
+			j := i + 1
+			for j < n && isIdentPart(rune(input[j])) {
+				j++
+			}
+			word := input[i:j]
+			up := strings.ToUpper(word)
+			if keywords[up] {
+				toks = append(toks, token{kind: tokKeyword, text: up, pos: i})
+			} else {
+				toks = append(toks, token{kind: tokIdent, text: word, pos: i})
+			}
+			i = j
+		default:
+			// multi-char operators first
+			two := ""
+			if i+1 < n {
+				two = input[i : i+2]
+			}
+			switch two {
+			case "<>", "!=", "<=", ">=":
+				toks = append(toks, token{kind: tokSymbol, text: two, pos: i})
+				i += 2
+				continue
+			}
+			switch c {
+			case ',', '(', ')', '*', '=', '<', '>', '.', ';':
+				toks = append(toks, token{kind: tokSymbol, text: string(c), pos: i})
+				i++
+			default:
+				return nil, fmt.Errorf("sqlparse: unexpected character %q at offset %d", c, i)
+			}
+		}
+	}
+	toks = append(toks, token{kind: tokEOF, pos: n})
+	return toks, nil
+}
+
+func isIdentStart(c rune) bool {
+	return c == '_' || unicode.IsLetter(c)
+}
+
+func isIdentPart(c rune) bool {
+	return c == '_' || unicode.IsLetter(c) || unicode.IsDigit(c)
+}

@@ -1,0 +1,101 @@
+package transport
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// tcpConn adapts a net.Conn to the Conn interface with gob framing.
+type tcpConn struct {
+	nc        net.Conn
+	enc       *gob.Encoder
+	dec       *gob.Decoder
+	sendMu    sync.Mutex
+	recvMu    sync.Mutex
+	stats     Stats
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// Dial connects to a listening party at addr ("host:port").
+func Dial(addr string) (Conn, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
+	}
+	return WrapNetConn(nc), nil
+}
+
+// WrapNetConn turns any net.Conn into a transport Conn (gob-framed).
+func WrapNetConn(nc net.Conn) Conn {
+	return &tcpConn{nc: nc, enc: gob.NewEncoder(nc), dec: gob.NewDecoder(nc)}
+}
+
+// Listener accepts party connections.
+type Listener struct {
+	l net.Listener
+}
+
+// Listen starts a TCP listener at addr; use addr ":0" for an ephemeral
+// port (see Addr).
+func Listen(addr string) (*Listener, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	return &Listener{l: l}, nil
+}
+
+// Addr returns the bound address.
+func (l *Listener) Addr() string { return l.l.Addr().String() }
+
+// Accept waits for one inbound connection.
+func (l *Listener) Accept() (Conn, error) {
+	nc, err := l.l.Accept()
+	if err != nil {
+		return nil, fmt.Errorf("transport: accept: %w", err)
+	}
+	return WrapNetConn(nc), nil
+}
+
+// Close stops the listener.
+func (l *Listener) Close() error { return l.l.Close() }
+
+// Send implements Conn.
+func (c *tcpConn) Send(m Message) error {
+	c.sendMu.Lock()
+	defer c.sendMu.Unlock()
+	if err := c.enc.Encode(m); err != nil {
+		return fmt.Errorf("transport: tcp send: %w", err)
+	}
+	c.stats.msgsSent.Add(1)
+	c.stats.bytesSent.Add(int64(m.size()))
+	return nil
+}
+
+// Recv implements Conn.
+func (c *tcpConn) Recv() (Message, error) {
+	c.recvMu.Lock()
+	defer c.recvMu.Unlock()
+	var m Message
+	if err := c.dec.Decode(&m); err != nil {
+		return Message{}, err
+	}
+	c.stats.msgsRecv.Add(1)
+	c.stats.bytesRecv.Add(int64(m.size()))
+	return m, nil
+}
+
+// Expect implements Conn.
+func (c *tcpConn) Expect(typ string) (Message, error) { return expect(c, typ) }
+
+// Close implements Conn.
+func (c *tcpConn) Close() error {
+	c.closeOnce.Do(func() { c.closeErr = c.nc.Close() })
+	return c.closeErr
+}
+
+// Stats implements Conn.
+func (c *tcpConn) Stats() *Stats { return &c.stats }

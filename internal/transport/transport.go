@@ -1,0 +1,188 @@
+// Package transport provides the message-passing fabric between the
+// mediation parties (client, mediator, datasources): typed message
+// envelopes, an in-memory duplex channel pair for single-process runs and
+// tests, a TCP/gob transport for multi-process deployment, and per-link
+// traffic accounting used by the Section 6 cost experiments.
+package transport
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+)
+
+// Message is the unit of exchange between parties: a protocol-defined type
+// tag and a gob-encoded body.
+type Message struct {
+	// Type tags the message for dispatching (e.g. "das.partial-result").
+	Type string
+	// Body is the gob-encoded payload.
+	Body []byte
+}
+
+// size returns the accounted wire size of the message.
+func (m Message) size() int { return len(m.Type) + len(m.Body) }
+
+// Encode gob-encodes a payload struct into a message body.
+func Encode(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, fmt.Errorf("transport: encode: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Decode gob-decodes a message body into a payload struct.
+func Decode(b []byte, v any) error {
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(v); err != nil {
+		return fmt.Errorf("transport: decode: %w", err)
+	}
+	return nil
+}
+
+// NewMessage builds a message with an encoded body.
+func NewMessage(typ string, v any) (Message, error) {
+	b, err := Encode(v)
+	if err != nil {
+		return Message{}, err
+	}
+	return Message{Type: typ, Body: b}, nil
+}
+
+// Conn is one endpoint of a duplex party-to-party link.
+type Conn interface {
+	// Send transmits a message to the peer.
+	Send(Message) error
+	// Recv blocks for the next message from the peer.
+	Recv() (Message, error)
+	// Expect receives the next message and verifies its type tag; a
+	// mismatch is a protocol error.
+	Expect(typ string) (Message, error)
+	// Close releases the link. Pending Recv calls fail.
+	Close() error
+	// Stats returns this endpoint's traffic counters.
+	Stats() *Stats
+}
+
+// Stats counts traffic through one endpoint. All fields are managed
+// atomically; read them only through the accessor methods while the link
+// is live.
+type Stats struct {
+	msgsSent, msgsRecv   atomic.Int64
+	bytesSent, bytesRecv atomic.Int64
+}
+
+// MsgsSent returns the number of messages sent.
+func (s *Stats) MsgsSent() int64 { return s.msgsSent.Load() }
+
+// MsgsRecv returns the number of messages received.
+func (s *Stats) MsgsRecv() int64 { return s.msgsRecv.Load() }
+
+// BytesSent returns the accounted bytes sent.
+func (s *Stats) BytesSent() int64 { return s.bytesSent.Load() }
+
+// BytesRecv returns the accounted bytes received.
+func (s *Stats) BytesRecv() int64 { return s.bytesRecv.Load() }
+
+// chanConn is an in-memory Conn over buffered channels.
+type chanConn struct {
+	out, in   chan Message
+	closeOnce sync.Once
+	closed    chan struct{}
+	peerDone  chan struct{}
+	stats     Stats
+}
+
+// Pair creates a connected in-memory duplex link and returns its two
+// endpoints. The buffer is generous so that strictly alternating protocols
+// never deadlock even when one side sends several messages per round.
+func Pair() (Conn, Conn) {
+	ab := make(chan Message, 1024)
+	ba := make(chan Message, 1024)
+	a := &chanConn{out: ab, in: ba, closed: make(chan struct{})}
+	b := &chanConn{out: ba, in: ab, closed: make(chan struct{})}
+	a.peerDone = b.closed
+	b.peerDone = a.closed
+	return a, b
+}
+
+// Send implements Conn.
+func (c *chanConn) Send(m Message) error {
+	// Closure checks must win over a ready buffer slot, so probe them
+	// before the (possibly non-blocking) send.
+	select {
+	case <-c.closed:
+		return fmt.Errorf("transport: send on closed connection")
+	default:
+	}
+	select {
+	case <-c.peerDone:
+		return fmt.Errorf("transport: peer closed")
+	default:
+	}
+	select {
+	case <-c.closed:
+		return fmt.Errorf("transport: send on closed connection")
+	case <-c.peerDone:
+		return fmt.Errorf("transport: peer closed")
+	case c.out <- m:
+		c.stats.msgsSent.Add(1)
+		c.stats.bytesSent.Add(int64(m.size()))
+		return nil
+	}
+}
+
+// Recv implements Conn.
+func (c *chanConn) Recv() (Message, error) {
+	select {
+	case <-c.closed:
+		return Message{}, fmt.Errorf("transport: recv on closed connection")
+	default:
+	}
+	select {
+	case <-c.closed:
+		return Message{}, fmt.Errorf("transport: recv on closed connection")
+	case m := <-c.in:
+		c.stats.msgsRecv.Add(1)
+		c.stats.bytesRecv.Add(int64(m.size()))
+		return m, nil
+	case <-c.peerDone:
+		// Drain messages the peer sent before closing.
+		select {
+		case m := <-c.in:
+			c.stats.msgsRecv.Add(1)
+			c.stats.bytesRecv.Add(int64(m.size()))
+			return m, nil
+		default:
+			return Message{}, io.EOF
+		}
+	}
+}
+
+// Expect implements Conn.
+func (c *chanConn) Expect(typ string) (Message, error) {
+	return expect(c, typ)
+}
+
+// Close implements Conn.
+func (c *chanConn) Close() error {
+	c.closeOnce.Do(func() { close(c.closed) })
+	return nil
+}
+
+// Stats implements Conn.
+func (c *chanConn) Stats() *Stats { return &c.stats }
+
+func expect(c Conn, typ string) (Message, error) {
+	m, err := c.Recv()
+	if err != nil {
+		return Message{}, err
+	}
+	if m.Type != typ {
+		return Message{}, fmt.Errorf("transport: expected message %q, got %q", typ, m.Type)
+	}
+	return m, nil
+}

@@ -1,0 +1,174 @@
+// Package workload generates synthetic join workloads for the experiments
+// of Section 6: relations with controlled cardinalities, active-domain
+// sizes, key-overlap fractions and key-frequency skew. The paper's cost
+// discussion is parameterized by exactly these quantities (|R_i|,
+// |domactive(R_i.A_join)|, |dom_1 ∩ dom_2| and the tuple-set sizes
+// |Tup_i(a)|), so the generator exposes each as a knob.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/secmediation/secmediation/internal/relation"
+)
+
+// JoinSpec describes a two-relation equi-join workload.
+type JoinSpec struct {
+	// Rows1 and Rows2 are the relation cardinalities |R1| and |R2|.
+	Rows1, Rows2 int
+	// Domain1 and Domain2 are the active-domain sizes of the join key.
+	Domain1, Domain2 int
+	// Overlap is the fraction of R2's domain shared with R1's domain
+	// (0 ≤ Overlap ≤ 1); it controls the join selectivity and the
+	// intersection size the commutative protocol's mediator observes.
+	Overlap float64
+	// Skew is the Zipf exponent for key multiplicity; 0 means uniform.
+	// Higher skew concentrates tuples on few keys, growing |Tup(a)|.
+	Skew float64
+	// PayloadCols adds that many extra TEXT columns per relation.
+	PayloadCols int
+	// PayloadWidth is the byte width of each payload column value.
+	PayloadWidth int
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+// Validate checks the specification for consistency.
+func (s JoinSpec) Validate() error {
+	if s.Rows1 <= 0 || s.Rows2 <= 0 {
+		return fmt.Errorf("workload: rows must be positive")
+	}
+	if s.Domain1 <= 0 || s.Domain2 <= 0 {
+		return fmt.Errorf("workload: domains must be positive")
+	}
+	if s.Overlap < 0 || s.Overlap > 1 {
+		return fmt.Errorf("workload: overlap %v out of [0,1]", s.Overlap)
+	}
+	if s.Skew < 0 {
+		return fmt.Errorf("workload: negative skew")
+	}
+	if s.PayloadCols < 0 || s.PayloadWidth < 0 {
+		return fmt.Errorf("workload: negative payload parameters")
+	}
+	return nil
+}
+
+// Generate builds the two relations R1(id, payload...) and
+// R2(id, payload...). The key domain of R1 is {0..Domain1-1}; R2 shares
+// ⌊Overlap·Domain2⌋ keys with R1 (drawn from the front of R1's domain) and
+// uses fresh keys (offset 1<<40) for the rest.
+func (s JoinSpec) Generate() (*relation.Relation, *relation.Relation, error) {
+	if err := s.Validate(); err != nil {
+		return nil, nil, err
+	}
+	rng := rand.New(rand.NewSource(s.Seed))
+
+	dom1 := make([]int64, s.Domain1)
+	for i := range dom1 {
+		dom1[i] = int64(i)
+	}
+	shared := int(s.Overlap * float64(s.Domain2))
+	if shared > s.Domain1 {
+		shared = s.Domain1
+	}
+	dom2 := make([]int64, 0, s.Domain2)
+	dom2 = append(dom2, dom1[:shared]...)
+	for i := shared; i < s.Domain2; i++ {
+		dom2 = append(dom2, int64(1<<40)+int64(i))
+	}
+
+	r1, err := s.buildRelation(rng, "R1", dom1, s.Rows1)
+	if err != nil {
+		return nil, nil, err
+	}
+	r2, err := s.buildRelation(rng, "R2", dom2, s.Rows2)
+	if err != nil {
+		return nil, nil, err
+	}
+	return r1, r2, nil
+}
+
+func (s JoinSpec) buildRelation(rng *rand.Rand, name string, dom []int64, rows int) (*relation.Relation, error) {
+	cols := []relation.Column{{Name: "id", Kind: relation.KindInt}}
+	for c := 0; c < s.PayloadCols; c++ {
+		cols = append(cols, relation.Column{Name: fmt.Sprintf("p%d", c), Kind: relation.KindString})
+	}
+	schema, err := relation.NewSchema(name, cols...)
+	if err != nil {
+		return nil, err
+	}
+	rel := relation.New(schema)
+
+	pick := func() int64 { return dom[rng.Intn(len(dom))] }
+	if s.Skew > 0 {
+		// rand.Zipf requires s > 1; map (0,1] onto (1, 2] for a gentle knob.
+		exp := 1 + s.Skew
+		z := rand.NewZipf(rng, exp, 1, uint64(len(dom)-1))
+		pick = func() int64 { return dom[z.Uint64()] }
+	}
+	// Guarantee every domain value appears at least once (so the active
+	// domain matches the spec); remaining rows are sampled.
+	n := rows
+	if n < len(dom) {
+		n = rows // caller asked for fewer rows than domain values: sample only
+	}
+	emit := func(key int64) error {
+		t := make(relation.Tuple, 0, len(cols))
+		t = append(t, relation.Int(key))
+		for c := 0; c < s.PayloadCols; c++ {
+			t = append(t, relation.String_(randomText(rng, s.PayloadWidth)))
+		}
+		return rel.Append(t)
+	}
+	emitted := 0
+	if rows >= len(dom) {
+		for _, k := range dom {
+			if err := emit(k); err != nil {
+				return nil, err
+			}
+			emitted++
+		}
+	}
+	for ; emitted < n; emitted++ {
+		if err := emit(pick()); err != nil {
+			return nil, err
+		}
+	}
+	return rel, nil
+}
+
+func randomText(rng *rand.Rand, width int) string {
+	if width == 0 {
+		return ""
+	}
+	b := make([]byte, width)
+	const alphabet = "abcdefghijklmnopqrstuvwxyz0123456789"
+	for i := range b {
+		b[i] = alphabet[rng.Intn(len(alphabet))]
+	}
+	return string(b)
+}
+
+// ExpectedJoinSize computes the exact join cardinality of the generated
+// pair by a plaintext hash join on "id" — used by experiments to report
+// selectivity.
+func ExpectedJoinSize(r1, r2 *relation.Relation) (int, error) {
+	g1, err := r1.GroupByColumns([]string{"id"})
+	if err != nil {
+		return 0, err
+	}
+	counts := make(map[string]int, len(g1))
+	for _, g := range g1 {
+		counts[string(relation.EncodeValues(g.Key, nil))] = len(g.Tuples)
+	}
+	g2, err := r2.GroupByColumns([]string{"id"})
+	if err != nil {
+		return 0, err
+	}
+	total := 0
+	for _, g := range g2 {
+		total += counts[string(relation.EncodeValues(g.Key, nil))] * len(g.Tuples)
+	}
+	return total, nil
+}

@@ -1,0 +1,178 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/secmediation/secmediation/internal/relation"
+)
+
+func TestValidate(t *testing.T) {
+	bad := []JoinSpec{
+		{Rows1: 0, Rows2: 1, Domain1: 1, Domain2: 1},
+		{Rows1: 1, Rows2: 1, Domain1: 0, Domain2: 1},
+		{Rows1: 1, Rows2: 1, Domain1: 1, Domain2: 1, Overlap: 1.5},
+		{Rows1: 1, Rows2: 1, Domain1: 1, Domain2: 1, Skew: -1},
+		{Rows1: 1, Rows2: 1, Domain1: 1, Domain2: 1, PayloadCols: -1},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("spec %d accepted: %+v", i, s)
+		}
+	}
+}
+
+func TestGenerateShape(t *testing.T) {
+	spec := JoinSpec{Rows1: 100, Rows2: 60, Domain1: 20, Domain2: 15, Overlap: 0.5, Seed: 1, PayloadCols: 2, PayloadWidth: 8}
+	r1, r2, err := spec.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Len() != 100 || r2.Len() != 60 {
+		t.Errorf("rows: %d/%d", r1.Len(), r2.Len())
+	}
+	if r1.Schema().Arity() != 3 || r2.Schema().Arity() != 3 {
+		t.Errorf("arity: %d/%d", r1.Schema().Arity(), r2.Schema().Arity())
+	}
+	d1, err := r1.ActiveDomain("id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := r2.ActiveDomain("id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rows ≥ domain: every domain value appears.
+	if len(d1) != 20 || len(d2) != 15 {
+		t.Errorf("domains: %d/%d, want 20/15", len(d1), len(d2))
+	}
+	// Overlap: ⌊0.5·15⌋ = 7 shared keys.
+	shared := 0
+	in1 := map[int64]bool{}
+	for _, v := range d1 {
+		in1[v.AsInt()] = true
+	}
+	for _, v := range d2 {
+		if in1[v.AsInt()] {
+			shared++
+		}
+	}
+	if shared != 7 {
+		t.Errorf("shared keys = %d, want 7", shared)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	spec := JoinSpec{Rows1: 50, Rows2: 50, Domain1: 10, Domain2: 10, Overlap: 1, Seed: 42}
+	a1, a2, err := spec.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, b2, err := spec.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a1.EqualMultiset(b1) || !a2.EqualMultiset(b2) {
+		t.Error("same seed produced different workloads")
+	}
+	spec.Seed = 43
+	c1, _, err := spec.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1.EqualMultiset(c1) {
+		t.Error("different seeds produced identical workloads (unlikely)")
+	}
+}
+
+func TestZeroOverlapMeansEmptyJoin(t *testing.T) {
+	spec := JoinSpec{Rows1: 40, Rows2: 40, Domain1: 10, Domain2: 10, Overlap: 0, Seed: 7}
+	r1, r2, err := spec.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := ExpectedJoinSize(r1, r2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Errorf("zero-overlap join size = %d", n)
+	}
+}
+
+func TestFullOverlapJoinSize(t *testing.T) {
+	// rows == domain and full overlap: every key once per side → join =
+	// number of shared keys = Domain2.
+	spec := JoinSpec{Rows1: 10, Rows2: 8, Domain1: 10, Domain2: 8, Overlap: 1, Seed: 9}
+	r1, r2, err := spec.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := ExpectedJoinSize(r1, r2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 8 {
+		t.Errorf("full-overlap join size = %d, want 8", n)
+	}
+}
+
+func TestSkewConcentratesKeys(t *testing.T) {
+	flat := JoinSpec{Rows1: 2000, Rows2: 10, Domain1: 100, Domain2: 10, Seed: 5}
+	skewed := flat
+	skewed.Skew = 1.0
+	f1, _, err := flat.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, _, err := skewed.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compare the max tuple-set size |Tup(a)|.
+	fMax, err := maxTupleSet(f1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sMax, err := maxTupleSet(s1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sMax <= fMax {
+		t.Errorf("skewed max |Tup(a)| = %d not larger than uniform %d", sMax, fMax)
+	}
+}
+
+// Property: generation never fails for valid specs.
+func TestGenerateNeverFails(t *testing.T) {
+	f := func(rows1, rows2, dom1, dom2 uint8, overlap uint8, seed int64) bool {
+		spec := JoinSpec{
+			Rows1: int(rows1%50) + 1, Rows2: int(rows2%50) + 1,
+			Domain1: int(dom1%20) + 1, Domain2: int(dom2%20) + 1,
+			Overlap: float64(overlap%101) / 100, Seed: seed,
+		}
+		r1, r2, err := spec.Generate()
+		if err != nil {
+			return false
+		}
+		return r1.Len() == spec.Rows1 && r2.Len() == spec.Rows2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// maxTupleSet returns max |Tup(a)| over the join key.
+func maxTupleSet(r *relation.Relation) (int, error) {
+	groups, err := r.GroupByColumns([]string{"id"})
+	if err != nil {
+		return 0, err
+	}
+	max := 0
+	for _, g := range groups {
+		if len(g.Tuples) > max {
+			max = len(g.Tuples)
+		}
+	}
+	return max, nil
+}
