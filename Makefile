@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: all vet build test race bench parallel-report
+
+all: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The parallel execution layer's safety gate: the mediation protocols and
+# the worker pool under the race detector.
+race:
+	$(GO) test -race ./internal/mediation/... ./internal/parallel/...
+
+bench:
+	$(GO) test -run xxx -bench . -benchtime 1x ./...
+
+# Regenerates BENCH_parallel.json (worker-pool + fixed-base speedups).
+parallel-report:
+	$(GO) run ./cmd/medbench -table parallel

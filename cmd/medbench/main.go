@@ -6,9 +6,11 @@
 //	medbench -table 3    Section 6 cost matrix (per-party compute, traffic, interactions)
 //	medbench -table 4    DAS partitioning trade-off (superset size vs partition count)
 //	medbench -table 5    extension ablations (selection pushdown, footnote modes, FNP buckets)
+//	medbench -table parallel  worker-pool + fixed-base speedup summary (writes -json file)
 //	medbench -table all  everything
 //
 // Workload knobs: -rows, -domain, -overlap, -groupbits, -paillier.
+// -json sets the output path of the parallel speedup summary.
 // Every number is measured from an instrumented in-process run of the real
 // protocols; nothing is hard-coded.
 package main
@@ -31,6 +33,7 @@ func main() {
 	skew := flag.Float64("skew", 0, "Zipf skew of join-key multiplicities (0 = uniform)")
 	groupBits := flag.Int("groupbits", 1536, "commutative group size")
 	paillierBits := flag.Int("paillier", 1024, "Paillier modulus size")
+	jsonOut := flag.String("json", "BENCH_parallel.json", "output path for the -table parallel summary (empty disables)")
 	flag.Parse()
 
 	h, err := newHarness(*rows, *domain, *overlap, *skew, *groupBits, *paillierBits)
@@ -53,8 +56,11 @@ func main() {
 		err = h.table4()
 	case "5":
 		err = h.table5()
+	case "parallel":
+		err = h.tableParallel(*jsonOut)
 	case "all":
-		for _, f := range []func() error{h.table1, h.table2, h.table3, h.table4, h.table5} {
+		parallelTable := func() error { return h.tableParallel(*jsonOut) }
+		for _, f := range []func() error{h.table1, h.table2, h.table3, h.table4, h.table5, parallelTable} {
 			if err = f(); err != nil {
 				break
 			}

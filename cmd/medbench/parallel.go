@@ -1,0 +1,172 @@
+package main
+
+import (
+	"crypto/rand"
+	"encoding/json"
+	"fmt"
+	"math/big"
+	"os"
+	"runtime"
+	"time"
+
+	"github.com/secmediation/secmediation/internal/crypto/paillier"
+	"github.com/secmediation/secmediation/internal/mediation"
+)
+
+// parallelProtocolRun is one (protocol, workers) measurement.
+type parallelProtocolRun struct {
+	Protocol string  `json:"protocol"`
+	Workers  int     `json:"workers"`
+	WallNs   int64   `json:"wall_ns"`
+	Speedup  float64 `json:"speedup_vs_sequential"`
+}
+
+// parallelPaillierRun is the fixed-base precomputation measurement — the
+// part of the execution layer whose speedup is core-count independent.
+type parallelPaillierRun struct {
+	Bits            int     `json:"bits"`
+	TextbookNsPerOp int64   `json:"textbook_ns_per_op"`
+	FixedBaseNsOp   int64   `json:"fixed_base_ns_per_op"`
+	PrecomputeNs    int64   `json:"precompute_ns"`
+	Speedup         float64 `json:"speedup"`
+}
+
+// parallelReport is the BENCH_parallel.json schema. Cores records the
+// runner honestly: worker-pool speedups only manifest with Cores > 1,
+// while the Paillier fixed-base speedup holds on any runner.
+type parallelReport struct {
+	Cores     int                   `json:"cores"`
+	GOOS      string                `json:"goos"`
+	GOARCH    string                `json:"goarch"`
+	Rows      int                   `json:"rows_per_relation"`
+	Domain    int                   `json:"active_domain"`
+	Protocols []parallelProtocolRun `json:"protocols"`
+	Paillier  parallelPaillierRun   `json:"paillier_fixed_base"`
+}
+
+// tableParallel measures the parallel crypto execution layer: each
+// ciphertext protocol end-to-end at Workers 1 / 2 / NumCPU, plus the
+// Paillier fixed-base randomizer precomputation, and writes the summary to
+// jsonPath (skipped when empty).
+func (h *harness) tableParallel(jsonPath string) error {
+	cores := runtime.NumCPU()
+	fmt.Printf("Parallel execution layer (runner: %d core(s), %s/%s)\n", cores, runtime.GOOS, runtime.GOARCH)
+
+	workerCounts := []int{1, 2}
+	if cores > 2 {
+		workerCounts = append(workerCounts, cores)
+	}
+	report := parallelReport{Cores: cores, GOOS: runtime.GOOS, GOARCH: runtime.GOARCH,
+		Rows: h.spec.Rows1, Domain: h.spec.Domain1}
+
+	rows := [][]string{{"protocol", "workers", "wall", "speedup vs workers=1"}}
+	for _, proto := range secureProtocols {
+		var seq time.Duration
+		for _, workers := range workerCounts {
+			params := h.params()
+			params.Workers = workers
+			// Median of three runs; end-to-end walls are noisy at this scale.
+			wall, err := h.medianWall(proto, params, 3)
+			if err != nil {
+				return err
+			}
+			if workers == 1 {
+				seq = wall
+			}
+			speedup := float64(seq) / float64(wall)
+			report.Protocols = append(report.Protocols, parallelProtocolRun{
+				Protocol: proto.String(), Workers: workers,
+				WallNs: wall.Nanoseconds(), Speedup: speedup,
+			})
+			rows = append(rows, []string{proto.String(), fmt.Sprint(workers),
+				wall.Round(time.Millisecond).String(), fmt.Sprintf("%.2fx", speedup)})
+		}
+	}
+	printAligned(rows)
+
+	pail, err := measurePaillierFixedBase(h.paillierBits)
+	if err != nil {
+		return err
+	}
+	report.Paillier = pail
+	fmt.Printf("paillier %d-bit encryption: textbook %s/op, fixed-base %s/op (%.1fx; table build %s)\n\n",
+		pail.Bits,
+		time.Duration(pail.TextbookNsPerOp).Round(time.Microsecond),
+		time.Duration(pail.FixedBaseNsOp).Round(time.Microsecond),
+		pail.Speedup,
+		time.Duration(pail.PrecomputeNs).Round(time.Millisecond))
+
+	if jsonPath == "" {
+		return nil
+	}
+	blob, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(jsonPath, append(blob, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", jsonPath)
+	return nil
+}
+
+// medianWall runs the query n times and returns the median wall time.
+func (h *harness) medianWall(proto mediation.Protocol, params mediation.Params, n int) (time.Duration, error) {
+	walls := make([]time.Duration, n)
+	for i := range walls {
+		start := time.Now()
+		if _, err := h.run(proto, params); err != nil {
+			return 0, err
+		}
+		walls[i] = time.Since(start)
+	}
+	for i := range walls { // insertion sort; n is tiny
+		for j := i; j > 0 && walls[j] < walls[j-1]; j-- {
+			walls[j], walls[j-1] = walls[j-1], walls[j]
+		}
+	}
+	return walls[n/2], nil
+}
+
+// measurePaillierFixedBase times textbook vs fixed-base encryption on a
+// fresh key of the given size.
+func measurePaillierFixedBase(bits int) (parallelPaillierRun, error) {
+	key, err := paillier.GenerateKey(rand.Reader, bits)
+	if err != nil {
+		return parallelPaillierRun{}, err
+	}
+	const ops = 24
+	m := big.NewInt(424242)
+
+	textbook := &paillier.PublicKey{N: key.N, NSquared: key.NSquared}
+	start := time.Now()
+	for i := 0; i < ops; i++ {
+		// Fresh key per op so the warmup counter never builds the table.
+		pk := &paillier.PublicKey{N: key.N, NSquared: key.NSquared}
+		if _, err := pk.Encrypt(rand.Reader, m); err != nil {
+			return parallelPaillierRun{}, err
+		}
+	}
+	textbookNs := time.Since(start).Nanoseconds() / ops
+
+	start = time.Now()
+	if err := textbook.Precompute(rand.Reader); err != nil {
+		return parallelPaillierRun{}, err
+	}
+	precomputeNs := time.Since(start).Nanoseconds()
+	start = time.Now()
+	for i := 0; i < ops; i++ {
+		if _, err := textbook.Encrypt(rand.Reader, m); err != nil {
+			return parallelPaillierRun{}, err
+		}
+	}
+	fixedNs := time.Since(start).Nanoseconds() / ops
+
+	return parallelPaillierRun{
+		Bits:            bits,
+		TextbookNsPerOp: textbookNs,
+		FixedBaseNsOp:   fixedNs,
+		PrecomputeNs:    precomputeNs,
+		Speedup:         float64(textbookNs) / float64(fixedNs),
+	}, nil
+}

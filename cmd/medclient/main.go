@@ -96,6 +96,7 @@ func runQuery(args []string) error {
 	paillierBits := fs.Int("paillier", 2048, "PM Paillier modulus size")
 	payload := fs.String("payload", "inline", "PM payload mode: inline|hybrid")
 	buckets := fs.Int("buckets", 0, "PM FNP bucket count (0 = single polynomial)")
+	workers := fs.Int("workers", 0, "crypto worker pool size per party (0 = all cores, 1 = sequential)")
 	csvOut := fs.String("csv", "", "write the result as CSV to this file instead of stdout")
 	var credPaths stringList
 	fs.Var(&credPaths, "cred", "credential JSON file (repeatable)")
@@ -137,6 +138,7 @@ func runQuery(args []string) error {
 		IDMode:       *idMode,
 		PaillierBits: *paillierBits,
 		Buckets:      *buckets,
+		Workers:      *workers,
 	}
 	if *payload == "hybrid" {
 		params.PayloadMode = mediation.PayloadHybrid

@@ -3,6 +3,8 @@ package commutative
 import (
 	"crypto/rand"
 	"fmt"
+	"math/big"
+	"runtime"
 	"testing"
 
 	"github.com/secmediation/secmediation/internal/crypto/groups"
@@ -26,6 +28,51 @@ func BenchmarkEncrypt(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := key.Encrypt(x); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// EncryptUnchecked vs Encrypt isolates the cost of the quadratic-residue
+// membership test (itself a full exponentiation) that trusted-origin
+// inputs skip.
+func BenchmarkEncryptUnchecked(b *testing.B) {
+	g := groups.MODP2048()
+	key, err := GenerateKey(g, rand.Reader)
+	if err != nil {
+		b.Fatal(err)
+	}
+	x, err := g.RandomElement(rand.Reader)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		key.EncryptUnchecked(x)
+	}
+}
+
+// Worker-pool scaling of the batch API; b.N elements per op keeps the
+// pool busy enough to show the scaling on multi-core runners.
+func BenchmarkEncryptBatchWorkers(b *testing.B) {
+	g := groups.MODP2048()
+	key, err := GenerateKey(g, rand.Reader)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const batch = 64
+	xs := make([]*big.Int, batch)
+	for i := range xs {
+		if xs[i], err = g.RandomElement(rand.Reader); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, workers := range []int{1, 2, runtime.NumCPU()} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := key.EncryptBatch(xs, workers); err != nil {
 					b.Fatal(err)
 				}
 			}

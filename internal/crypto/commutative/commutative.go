@@ -24,6 +24,7 @@ import (
 	"math/big"
 
 	"github.com/secmediation/secmediation/internal/crypto/groups"
+	"github.com/secmediation/secmediation/internal/parallel"
 )
 
 // Key is a commutative encryption key: a secret exponent and its inverse
@@ -67,19 +68,61 @@ func (k *Key) Group() *groups.Group { return k.group }
 
 // Encrypt computes f_e(x) = x^e mod p. x must be in QR(p): the function
 // returns an error otherwise, because applying it outside the subgroup
-// breaks both bijectivity and the security argument.
+// breaks both bijectivity and the security argument. The membership test
+// is itself a full exponentiation (x^q mod p), doubling the per-element
+// cost — callers whose inputs are group elements by construction should
+// use EncryptUnchecked instead.
 func (k *Key) Encrypt(x *big.Int) (*big.Int, error) {
 	if !k.group.IsQuadraticResidue(x) {
 		return nil, fmt.Errorf("commutative: input not in QR(p)")
 	}
-	return new(big.Int).Exp(x, k.e, k.group.P), nil
+	return k.EncryptUnchecked(x), nil
+}
+
+// EncryptUnchecked computes f_e(x) = x^e mod p without the
+// quadratic-residue membership test, halving the cost of Encrypt.
+//
+// When to use which path:
+//
+//   - Untrusted first-layer inputs (values that arrive from outside the
+//     group machinery) MUST go through Encrypt: exponentiation outside
+//     QR(p) is not a bijection on the subgroup and voids the DDH-based
+//     indistinguishability argument.
+//   - Oracle-hashed values are squared into QR(p) by construction
+//     (oracle.HashBytes ends in Square), so the sources' own hash
+//     encryptions may skip the test.
+//   - Our own ciphertexts are elements of QR(p) because f_e maps the
+//     subgroup onto itself, so re-encryption layers may skip it too.
+func (k *Key) EncryptUnchecked(x *big.Int) *big.Int {
+	return new(big.Int).Exp(x, k.e, k.group.P)
+}
+
+// EncryptBatch encrypts a slice of QR(p) elements across a worker pool
+// (workers as in parallel.Resolve), preserving order. Inputs are
+// membership-checked like Encrypt; for trusted-origin batches map
+// EncryptUnchecked over the slice instead.
+func (k *Key) EncryptBatch(xs []*big.Int, workers int) ([]*big.Int, error) {
+	return parallel.Map(len(xs), workers, func(i int) (*big.Int, error) {
+		return k.Encrypt(xs[i])
+	})
 }
 
 // ReEncrypt applies f_e to an already-encrypted element (the second layer
-// in the protocol's cross-encryption step). Ciphertexts are elements of
-// QR(p), so this is the same operation as Encrypt; the separate name keeps
-// protocol code readable.
-func (k *Key) ReEncrypt(c *big.Int) (*big.Int, error) { return k.Encrypt(c) }
+// in the protocol's cross-encryption step).
+//
+// It deliberately skips the quadratic-residue test that Encrypt performs
+// and only range-checks the ciphertext: cross-encryption inputs are the
+// opposite source's ciphertexts, which are QR(p) elements by construction
+// (f_e permutes the subgroup), and the parties are semi-honest, so paying
+// a second exponentiation per element to re-verify membership buys
+// nothing. First-layer encryptions of genuinely untrusted inputs must
+// still use Encrypt — see EncryptUnchecked for the full argument.
+func (k *Key) ReEncrypt(c *big.Int) (*big.Int, error) {
+	if c == nil || c.Sign() <= 0 || c.Cmp(k.group.P) >= 0 {
+		return nil, fmt.Errorf("commutative: ciphertext out of range")
+	}
+	return k.EncryptUnchecked(c), nil
+}
 
 // Decrypt computes f_e⁻¹(y) = y^d mod p.
 func (k *Key) Decrypt(y *big.Int) (*big.Int, error) {

@@ -204,3 +204,83 @@ func TestOracleDeterminismAndRange(t *testing.T) {
 		t.Errorf("oracle collisions: %d distinct of 100", len(seen))
 	}
 }
+
+func TestEncryptUncheckedMatchesEncrypt(t *testing.T) {
+	g := testGroup(t)
+	k, err := GenerateKey(g, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 16; i++ {
+		x, err := g.RandomElement(rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := k.Encrypt(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := k.EncryptUnchecked(x); got.Cmp(want) != 0 {
+			t.Fatal("EncryptUnchecked diverges from Encrypt on a QR element")
+		}
+	}
+}
+
+func TestEncryptBatch(t *testing.T) {
+	g := testGroup(t)
+	k, err := GenerateKey(g, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs := make([]*big.Int, 33)
+	for i := range xs {
+		if xs[i], err = g.RandomElement(rand.Reader); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, workers := range []int{1, 4} {
+		got, err := k.EncryptBatch(xs, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range xs {
+			want, _ := k.Encrypt(xs[i])
+			if got[i].Cmp(want) != 0 {
+				t.Fatalf("workers=%d: batch element %d mismatch", workers, i)
+			}
+		}
+	}
+	// A non-residue anywhere in the batch must fail the whole batch.
+	bad := append([]*big.Int(nil), xs...)
+	bad[17] = findNonResidue(t, g)
+	if _, err := k.EncryptBatch(bad, 4); err == nil {
+		t.Fatal("batch accepted a non-residue")
+	}
+}
+
+func TestReEncryptRangeCheck(t *testing.T) {
+	g := testGroup(t)
+	k, err := GenerateKey(g, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []*big.Int{nil, big.NewInt(0), new(big.Int).Neg(big.NewInt(3)), new(big.Int).Set(g.P)} {
+		if _, err := k.ReEncrypt(bad); err == nil {
+			t.Fatalf("ReEncrypt accepted out-of-range input %v", bad)
+		}
+	}
+}
+
+// findNonResidue searches small integers for a quadratic non-residue of
+// the test group (half of Z_p^* qualifies, so this terminates fast).
+func findNonResidue(t *testing.T, g *groups.Group) *big.Int {
+	t.Helper()
+	for i := int64(2); i < 1000; i++ {
+		x := big.NewInt(i)
+		if !g.IsQuadraticResidue(x) {
+			return x
+		}
+	}
+	t.Fatal("no small non-residue found")
+	return nil
+}

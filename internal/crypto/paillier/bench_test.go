@@ -1,0 +1,72 @@
+package paillier
+
+import (
+	"crypto/rand"
+	"math/big"
+	"testing"
+)
+
+func benchKey(b *testing.B, bits int) *PrivateKey {
+	b.Helper()
+	key, err := GenerateKey(rand.Reader, bits)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return key
+}
+
+// Textbook encryption: the full r^n mod n² exponentiation per randomizer.
+// A fresh PublicKey copy is used per iteration batch so the warmup counter
+// never flips the key into the precomputed path mid-measurement.
+func BenchmarkEncryptTextbook(b *testing.B) {
+	key := benchKey(b, 1024)
+	m := big.NewInt(424242)
+	for i := 0; i < b.N; i++ {
+		pk := &PublicKey{N: key.N, NSquared: key.NSquared}
+		if _, err := pk.Encrypt(rand.Reader, m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Fixed-base encryption: randomizers come from the windowed table over
+// β = x^n, ~ℓ/4 multiplications instead of a full exponentiation.
+func BenchmarkEncryptPrecomputed(b *testing.B) {
+	key := benchKey(b, 1024)
+	pk := &PublicKey{N: key.N, NSquared: key.NSquared}
+	if err := pk.Precompute(rand.Reader); err != nil {
+		b.Fatal(err)
+	}
+	m := big.NewInt(424242)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pk.Encrypt(rand.Reader, m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// One-time cost of building the fixed-base table.
+func BenchmarkPrecompute(b *testing.B) {
+	key := benchKey(b, 1024)
+	for i := 0; i < b.N; i++ {
+		pk := &PublicKey{N: key.N, NSquared: key.NSquared}
+		if err := pk.Precompute(rand.Reader); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecrypt(b *testing.B) {
+	key := benchKey(b, 1024)
+	ct, err := key.PublicKey.Encrypt(rand.Reader, big.NewInt(424242))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := key.Decrypt(ct); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

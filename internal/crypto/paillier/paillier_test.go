@@ -259,3 +259,92 @@ func BenchmarkDecryptLambda(b *testing.B) {
 		k.decryptLambda(c)
 	}
 }
+
+func TestFixedBaseExpMatchesExp(t *testing.T) {
+	k := testKeypair(t)
+	base, err := k.PublicKey.randomUnit(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb := newFixedBase(base, k.NSquared, k.N.BitLen())
+	for i := 0; i < 32; i++ {
+		e, err := rand.Int(rand.Reader, k.N)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := new(big.Int).Exp(base, e, k.NSquared)
+		if got := fb.exp(e); got.Cmp(want) != 0 {
+			t.Fatalf("fixed-base exp mismatch for e=%v", e)
+		}
+	}
+	// Edge exponents.
+	for _, e := range []*big.Int{big.NewInt(0), big.NewInt(1), big.NewInt(15), big.NewInt(16)} {
+		want := new(big.Int).Exp(base, e, k.NSquared)
+		if got := fb.exp(e); got.Cmp(want) != 0 {
+			t.Fatalf("fixed-base exp mismatch for small e=%v", e)
+		}
+	}
+}
+
+func TestPrecomputedEncryptDecrypts(t *testing.T) {
+	k, err := GenerateKey(rand.Reader, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.PublicKey.Precompute(rand.Reader); err != nil {
+		t.Fatal(err)
+	}
+	if k.PublicKey.fb.Load() == nil {
+		t.Fatal("Precompute left no table")
+	}
+	for i := int64(0); i < 40; i++ {
+		c, err := k.EncryptInt64(rand.Reader, i*7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := k.Decrypt(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Int64() != i*7 {
+			t.Fatalf("CRT decrypt = %v, want %d", got, i*7)
+		}
+		if l := k.decryptLambda(c); l.Int64() != i*7 {
+			t.Fatalf("lambda decrypt = %v, want %d", l, i*7)
+		}
+	}
+	// Precomputed encryption must stay probabilistic.
+	c1, _ := k.EncryptInt64(rand.Reader, 99)
+	c2, _ := k.EncryptInt64(rand.Reader, 99)
+	if c1.C.Cmp(c2.C) == 0 {
+		t.Fatal("precomputed encryption is deterministic")
+	}
+}
+
+func TestWarmupTriggersPrecompute(t *testing.T) {
+	k, err := GenerateKey(rand.Reader, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < fbWarmup-1; i++ {
+		if _, err := k.EncryptInt64(rand.Reader, int64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if k.PublicKey.fb.Load() != nil {
+		t.Fatal("table built before warmup threshold")
+	}
+	if _, err := k.EncryptInt64(rand.Reader, 1); err != nil {
+		t.Fatal(err)
+	}
+	if k.PublicKey.fb.Load() == nil {
+		t.Fatal("warmup did not build the table")
+	}
+	c, err := k.EncryptInt64(rand.Reader, 1234)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := k.Decrypt(c); err != nil || got.Int64() != 1234 {
+		t.Fatalf("post-warmup decrypt = %v, %v", got, err)
+	}
+}

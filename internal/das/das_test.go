@@ -285,11 +285,11 @@ func TestDASEndToEnd(t *testing.T) {
 			}
 			it1, _ := BuildIndexTable("id", p1)
 			it2, _ := BuildIndexTable("id", p2)
-			er1, _, err := EncryptRelation(r1, []string{"id"}, []*IndexTable{it1}, &key.PublicKey)
+			er1, _, err := EncryptRelation(r1, []string{"id"}, []*IndexTable{it1}, &key.PublicKey, 1)
 			if err != nil {
 				t.Fatal(err)
 			}
-			er2, _, err := EncryptRelation(r2, []string{"id"}, []*IndexTable{it2}, &key.PublicKey)
+			er2, _, err := EncryptRelation(r2, []string{"id"}, []*IndexTable{it2}, &key.PublicKey, 1)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -310,7 +310,7 @@ func TestDASEndToEnd(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			got, discarded, err := DecryptServerResult(res, recv1, recv2, r1.Schema(), r2.Schema(), []string{"id"}, []string{"id"})
+			got, discarded, err := DecryptServerResult(res, recv1, recv2, r1.Schema(), r2.Schema(), []string{"id"}, []string{"id"}, 1)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -343,8 +343,8 @@ func TestPartitionGranularityMonotonicity(t *testing.T) {
 		p2, _ := PartitionDomain(d2, k, EquiDepth)
 		it1, _ := BuildIndexTable("id", p1)
 		it2, _ := BuildIndexTable("id", p2)
-		er1, _, _ := EncryptRelation(r1, []string{"id"}, []*IndexTable{it1}, &key.PublicKey)
-		er2, _, _ := EncryptRelation(r2, []string{"id"}, []*IndexTable{it2}, &key.PublicKey)
+		er1, _, _ := EncryptRelation(r1, []string{"id"}, []*IndexTable{it1}, &key.PublicKey, 1)
+		er2, _, _ := EncryptRelation(r2, []string{"id"}, []*IndexTable{it2}, &key.PublicKey, 1)
 		sq, _ := BuildServerQuery([]*IndexTable{it1}, []*IndexTable{it2})
 		res, err := ExecuteServerQuery(er1, er2, sq)
 		if err != nil {
@@ -366,15 +366,15 @@ func TestEncryptRelationErrors(t *testing.T) {
 	d1, _ := r1.ActiveDomain("id")
 	p1, _ := PartitionDomain(d1, 2, EquiDepth)
 	it1, _ := BuildIndexTable("id", p1)
-	if _, _, err := EncryptRelation(r1, []string{"ghost"}, []*IndexTable{it1}, &key.PublicKey); err == nil {
+	if _, _, err := EncryptRelation(r1, []string{"ghost"}, []*IndexTable{it1}, &key.PublicKey, 1); err == nil {
 		t.Error("bad join column accepted")
 	}
-	if _, _, err := EncryptRelation(r1, []string{"id"}, nil, &key.PublicKey); err == nil {
+	if _, _, err := EncryptRelation(r1, []string{"id"}, nil, &key.PublicKey, 1); err == nil {
 		t.Error("missing index tables accepted")
 	}
 	// Index table missing coverage.
 	itBad := &IndexTable{Attribute: "id"}
-	if _, _, err := EncryptRelation(r1, []string{"id"}, []*IndexTable{itBad}, &key.PublicKey); err == nil {
+	if _, _, err := EncryptRelation(r1, []string{"id"}, []*IndexTable{itBad}, &key.PublicKey, 1); err == nil {
 		t.Error("uncovering index table accepted")
 	}
 }
@@ -475,11 +475,11 @@ func TestDASMultiAttribute(t *testing.T) {
 	its1 := buildITs(r1)
 	its2 := buildITs(r2)
 	cols := []string{"id", "dept"}
-	er1, _, err := EncryptRelation(r1, cols, its1, &ck.PublicKey)
+	er1, _, err := EncryptRelation(r1, cols, its1, &ck.PublicKey, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	er2, _, err := EncryptRelation(r2, cols, its2, &ck.PublicKey)
+	er2, _, err := EncryptRelation(r2, cols, its2, &ck.PublicKey, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -493,7 +493,7 @@ func TestDASMultiAttribute(t *testing.T) {
 	}
 	recv1, _ := hybrid.NewReceiver(key, er1.WrappedKey)
 	recv2, _ := hybrid.NewReceiver(key, er2.WrappedKey)
-	got, _, err := DecryptServerResult(res, recv1, recv2, s1, s2, cols, cols)
+	got, _, err := DecryptServerResult(res, recv1, recv2, s1, s2, cols, cols, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -603,8 +603,8 @@ func TestServerQueryFilterSoundness(t *testing.T) {
 	p2, _ := PartitionDomain(d2, 3, EquiDepth)
 	it1, _ := BuildIndexTable("id", p1)
 	it2, _ := BuildIndexTable("id", p2)
-	er1, _, _ := EncryptRelation(r1, []string{"id"}, []*IndexTable{it1}, &key.PublicKey)
-	er2, _, _ := EncryptRelation(r2, []string{"id"}, []*IndexTable{it2}, &key.PublicKey)
+	er1, _, _ := EncryptRelation(r1, []string{"id"}, []*IndexTable{it1}, &key.PublicKey, 1)
+	er2, _, _ := EncryptRelation(r2, []string{"id"}, []*IndexTable{it2}, &key.PublicKey, 1)
 	sq, _ := BuildServerQuery([]*IndexTable{it1}, []*IndexTable{it2})
 	// Push down "R1.id >= 5": ids 5,5,9 remain on the left.
 	sq.Filters1 = []IndexFilter{{Attr: 0, Allowed: it1.AllowedIndexes(algebra.OpGe, rel.Int(5))}}
@@ -614,7 +614,7 @@ func TestServerQueryFilterSoundness(t *testing.T) {
 	}
 	recv1, _ := hybrid.NewReceiver(key, er1.WrappedKey)
 	recv2, _ := hybrid.NewReceiver(key, er2.WrappedKey)
-	got, _, err := DecryptServerResult(res, recv1, recv2, r1.Schema(), r2.Schema(), []string{"id"}, []string{"id"})
+	got, _, err := DecryptServerResult(res, recv1, recv2, r1.Schema(), r2.Schema(), []string{"id"}, []string{"id"}, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

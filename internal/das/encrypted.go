@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"github.com/secmediation/secmediation/internal/crypto/hybrid"
+	"github.com/secmediation/secmediation/internal/parallel"
 	"github.com/secmediation/secmediation/internal/relation"
 )
 
@@ -42,8 +43,9 @@ func (er *EncryptedRelation) Len() int { return len(er.Tuples) }
 // annotated with the index values of its join attribute values (one per
 // join column, parallel to the index tables). It also returns the session
 // so the caller can seal the index tables under the same key, as the paper
-// recommends.
-func EncryptRelation(r *relation.Relation, joinCols []string, its []*IndexTable, clientKey *rsa.PublicKey) (*EncryptedRelation, *hybrid.Session, error) {
+// recommends. The per-tuple index+seal work fans out over a worker pool
+// (workers as in parallel.Resolve) with tuple order preserved.
+func EncryptRelation(r *relation.Relation, joinCols []string, its []*IndexTable, clientKey *rsa.PublicKey, workers int) (*EncryptedRelation, *hybrid.Session, error) {
 	if len(joinCols) == 0 || len(joinCols) != len(its) {
 		return nil, nil, fmt.Errorf("das: need one index table per join column, got %d/%d", len(joinCols), len(its))
 	}
@@ -60,20 +62,25 @@ func EncryptRelation(r *relation.Relation, joinCols []string, its []*IndexTable,
 	}
 	er := &EncryptedRelation{Name: r.Schema().Relation, WrappedKey: sess.WrappedKey()}
 	aad := []byte("das:etuple:" + r.Schema().Relation)
-	for _, t := range r.Tuples() {
+	tuples := r.Tuples()
+	er.Tuples, err = parallel.Map(len(tuples), workers, func(ti int) (EncTuple, error) {
+		t := tuples[ti]
 		iv := make([]IndexValue, len(joinCols))
 		for i, ji := range idxs {
 			v, err := its[i].IndexOf(t[ji])
 			if err != nil {
-				return nil, nil, err
+				return EncTuple{}, err
 			}
 			iv[i] = v
 		}
 		ct, err := sess.Seal(t.Encode(nil), aad)
 		if err != nil {
-			return nil, nil, err
+			return EncTuple{}, err
 		}
-		er.Tuples = append(er.Tuples, EncTuple{Etuple: ct.Marshal(), Index: iv})
+		return EncTuple{Etuple: ct.Marshal(), Index: iv}, nil
+	})
+	if err != nil {
+		return nil, nil, err
 	}
 	return er, sess, nil
 }
@@ -213,9 +220,11 @@ type Opener interface {
 // part of the etuple encoding), applies CondC (true join-attribute
 // equality on every join column) and assembles the joined tuples under the
 // concatenated schema. It returns the exact join and the number of false
-// positives discarded by q_C.
+// positives discarded by q_C. The per-pair decryptions fan out over a
+// worker pool; matching and assembly stay sequential in pair order, so the
+// result is worker-count independent.
 func DecryptServerResult(res *ServerResult, recv1, recv2 Opener,
-	schema1, schema2 relation.Schema, joinCols1, joinCols2 []string) (*relation.Relation, int, error) {
+	schema1, schema2 relation.Schema, joinCols1, joinCols2 []string, workers int) (*relation.Relation, int, error) {
 
 	if len(joinCols1) == 0 || len(joinCols1) != len(joinCols2) {
 		return nil, 0, fmt.Errorf("das: mismatched join column lists")
@@ -236,16 +245,24 @@ func DecryptServerResult(res *ServerResult, recv1, recv2 Opener,
 	out := relation.New(joined)
 	aad1 := []byte("das:etuple:" + schema1.Relation)
 	aad2 := []byte("das:etuple:" + schema2.Relation)
+	type tuplePair struct{ t1, t2 relation.Tuple }
+	opened, err := parallel.Map(len(res.Pairs), workers, func(i int) (tuplePair, error) {
+		t1, err := openTuple(recv1, res.Pairs[i].E1, aad1, schema1)
+		if err != nil {
+			return tuplePair{}, err
+		}
+		t2, err := openTuple(recv2, res.Pairs[i].E2, aad2, schema2)
+		if err != nil {
+			return tuplePair{}, err
+		}
+		return tuplePair{t1: t1, t2: t2}, nil
+	})
+	if err != nil {
+		return nil, 0, err
+	}
 	discarded := 0
-	for _, p := range res.Pairs {
-		t1, err := openTuple(recv1, p.E1, aad1, schema1)
-		if err != nil {
-			return nil, 0, err
-		}
-		t2, err := openTuple(recv2, p.E2, aad2, schema2)
-		if err != nil {
-			return nil, 0, err
-		}
+	for _, p := range opened {
+		t1, t2 := p.t1, p.t2
 		match := true
 		for i := range j1 {
 			if !t1[j1[i]].Equal(t2[j2[i]]) {

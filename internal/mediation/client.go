@@ -98,7 +98,7 @@ func (c *Client) Query(conn transport.Conn, sql string, proto Protocol, params P
 	case ProtocolDAS:
 		joined, schema2, joinCols2, err = c.runDAS(conn, q, params, watch)
 	case ProtocolCommutative:
-		joined, schema2, joinCols2, err = c.runCommutative(conn, watch)
+		joined, schema2, joinCols2, err = c.runCommutative(conn, params, watch)
 	case ProtocolPM:
 		joined, schema2, joinCols2, err = c.runPM(conn, params, watch)
 	default:

@@ -11,6 +11,7 @@ import (
 	"github.com/secmediation/secmediation/internal/crypto/hybrid"
 	"github.com/secmediation/secmediation/internal/crypto/oracle"
 	"github.com/secmediation/secmediation/internal/leakage"
+	"github.com/secmediation/secmediation/internal/parallel"
 	"github.com/secmediation/secmediation/internal/relation"
 	"github.com/secmediation/secmediation/internal/transport"
 )
@@ -87,17 +88,24 @@ func (s *Source) serveCommutative(conn transport.Conn, pq *PartialQuery, rel *re
 		}
 		offer = commOffer{Session: pq.SessionID, Schema: rel.Schema(), WrappedKey: sess.WrappedKey()}
 		aad := []byte("comm:" + pq.SessionID + ":" + rel.Schema().Relation)
-		for _, g := range groupsByKey {
+		// The per-value hash+encrypt+seal work is the protocol's dominant
+		// cost (one modexp per active-domain value); fan it out over the
+		// worker pool. Map preallocates the full item slice and writes by
+		// index, so the transcript order is worker-count independent.
+		// EncryptUnchecked is sound here: the oracle squares every hash
+		// into QR(p) by construction.
+		offer.Items, err = parallel.Map(len(groupsByKey), pq.Params.Workers, func(i int) (commItem, error) {
+			g := groupsByKey[i]
 			h := orc.HashBytes(relation.EncodeValues(g.Key, nil))
-			c, err := key.Encrypt(h)
-			if err != nil {
-				return err
-			}
+			c := key.EncryptUnchecked(h)
 			sealed, err := sess.Seal(relation.EncodeTupleSet(g.Tuples), aad)
 			if err != nil {
-				return err
+				return commItem{}, err
 			}
-			offer.Items = append(offer.Items, commItem{Hash: c, Payload: sealed.Marshal()})
+			return commItem{Hash: c, Payload: sealed.Marshal()}, nil
+		})
+		if err != nil {
+			return err
 		}
 		s.Ledger.UsePrimitive(s.party(), "ideal-hash", int64(len(offer.Items)))
 		s.Ledger.UsePrimitive(s.party(), "commutative-encryption", int64(len(offer.Items)))
@@ -121,13 +129,17 @@ func (s *Source) serveCommutative(conn transport.Conn, pq *PartialQuery, rel *re
 	err = watch.track(func() error {
 		// Both sources learn the opposite active-domain size (Section 6).
 		s.Ledger.Observe(s.party(), "|domactive(opposite)|", int64(len(cross.Items)))
-		back.Items = make([]commItem, len(cross.Items))
-		for i, it := range cross.Items {
+		var err error
+		back.Items, err = parallel.Map(len(cross.Items), pq.Params.Workers, func(i int) (commItem, error) {
+			it := cross.Items[i]
 			h2, err := key.ReEncrypt(it.Hash)
 			if err != nil {
-				return err
+				return commItem{}, err
 			}
-			back.Items[i] = commItem{Hash: h2, Payload: it.Payload, ID: it.ID}
+			return commItem{Hash: h2, Payload: it.Payload, ID: it.ID}, nil
+		})
+		if err != nil {
+			return err
 		}
 		s.Ledger.UsePrimitive(s.party(), "commutative-encryption", int64(len(cross.Items)))
 		return shuffleItems(back.Items)
@@ -185,8 +197,23 @@ func (m *Mediator) mediateCommutative(client, s1, s2 transport.Conn, d *decompos
 		Wrapped1: o1.WrappedKey, Wrapped2: o2.WrappedKey,
 	}
 	err := watch.track(func() error {
+		// Rendering a 2048-bit hash to a map key is the mediator's only
+		// per-item cost; fan the conversions out, then build and probe
+		// the match map sequentially.
+		keys2, err := parallel.Map(len(b2.Items), params.Workers, func(i int) (string, error) {
+			return b2.Items[i].Hash.Text(16), nil
+		})
+		if err != nil {
+			return err
+		}
+		keys1, err := parallel.Map(len(b1.Items), params.Workers, func(i int) (string, error) {
+			return b1.Items[i].Hash.Text(16), nil
+		})
+		if err != nil {
+			return err
+		}
 		tup1ByHash := make(map[string][]byte, len(b2.Items))
-		for _, it := range b2.Items {
+		for i, it := range b2.Items {
 			payload := it.Payload
 			if params.IDMode {
 				var ok bool
@@ -195,10 +222,10 @@ func (m *Mediator) mediateCommutative(client, s1, s2 transport.Conn, d *decompos
 					return fmt.Errorf("comm: unknown ID %d from S2", it.ID)
 				}
 			}
-			tup1ByHash[it.Hash.String()] = payload
+			tup1ByHash[keys2[i]] = payload
 		}
-		for _, it := range b1.Items {
-			t1, ok := tup1ByHash[it.Hash.String()]
+		for i, it := range b1.Items {
+			t1, ok := tup1ByHash[keys1[i]]
 			if !ok {
 				continue
 			}
@@ -225,7 +252,7 @@ func (m *Mediator) mediateCommutative(client, s1, s2 transport.Conn, d *decompos
 // runCommutative implements the client's step 8: decrypt the matched tuple
 // sets and construct the result tuples (a cross product per matched join
 // value).
-func (c *Client) runCommutative(conn transport.Conn, watch *stopwatch) (*relation.Relation, relation.Schema, []string, error) {
+func (c *Client) runCommutative(conn transport.Conn, params Params, watch *stopwatch) (*relation.Relation, relation.Schema, []string, error) {
 	var res commResult
 	if err := recvInto(conn, msgCommResult, &res); err != nil {
 		return nil, relation.Schema{}, nil, err
@@ -247,15 +274,26 @@ func (c *Client) runCommutative(conn transport.Conn, watch *stopwatch) (*relatio
 		joined = relation.New(schema)
 		aad1 := []byte("comm:" + res.Session + ":" + res.Schema1.Relation)
 		aad2 := []byte("comm:" + res.Session + ":" + res.Schema2.Relation)
-		for _, p := range res.Pairs {
-			ts1, err := openTupleSet(recv1, p.T1, aad1, res.Schema1)
+		// Open both tuple sets of every matched pair in parallel; the
+		// cross products append into the shared relation sequentially in
+		// pair order, keeping the result deterministic.
+		type pairSets struct{ ts1, ts2 []relation.Tuple }
+		opened, err := parallel.Map(len(res.Pairs), params.Workers, func(i int) (pairSets, error) {
+			ts1, err := openTupleSet(recv1, res.Pairs[i].T1, aad1, res.Schema1)
 			if err != nil {
-				return err
+				return pairSets{}, err
 			}
-			ts2, err := openTupleSet(recv2, p.T2, aad2, res.Schema2)
+			ts2, err := openTupleSet(recv2, res.Pairs[i].T2, aad2, res.Schema2)
 			if err != nil {
-				return err
+				return pairSets{}, err
 			}
+			return pairSets{ts1: ts1, ts2: ts2}, nil
+		})
+		if err != nil {
+			return err
+		}
+		for _, p := range opened {
+			ts1, ts2 := p.ts1, p.ts2
 			for _, t1 := range ts1 {
 				for _, t2 := range ts2 {
 					t := make(relation.Tuple, 0, len(t1)+len(t2))
@@ -305,26 +343,18 @@ func stripPayloads(items []commItem) (map[uint64][]byte, []commItem) {
 }
 
 // shuffleItems applies a cryptographic Fisher-Yates shuffle, realizing the
-// paper's "arbitrarily ordered set of messages".
-func shuffleItems(items []commItem) error {
-	for i := len(items) - 1; i > 0; i-- {
-		jBig, err := rand.Int(rand.Reader, big.NewInt(int64(i+1)))
-		if err != nil {
-			return fmt.Errorf("comm: shuffle: %w", err)
-		}
-		j := int(jBig.Int64())
-		items[i], items[j] = items[j], items[i]
-	}
-	return nil
-}
+// paper's "arbitrarily ordered set of messages" (see shuffle.go for the
+// buffered randomness source).
+func shuffleItems(items []commItem) error { return shuffleSlice(items) }
 
 // CommutativeIntersection runs Agrawal et al.'s two-party intersection
 // protocol shape directly (the operation the paper's Section 4 cites
 // alongside the join): both parties hash and singly encrypt their value
 // sets, cross-encrypt each other's, and the receiver learns exactly which
 // of its values lie in the intersection — nothing else. Exposed for the
-// ext-intersection experiment.
-func CommutativeIntersection(g *groups.Group, label string, receiver, sender []relation.Value) ([]relation.Value, error) {
+// ext-intersection experiment. workers sizes the worker pool for the two
+// double-encryption loops (see parallel.Resolve).
+func CommutativeIntersection(g *groups.Group, label string, receiver, sender []relation.Value, workers int) ([]relation.Value, error) {
 	kR, err := commutative.GenerateKey(g, rand.Reader)
 	if err != nil {
 		return nil, err
@@ -334,33 +364,38 @@ func CommutativeIntersection(g *groups.Group, label string, receiver, sender []r
 		return nil, err
 	}
 	orc := oracle.New(g, label)
+	// Each value costs two modexps (first layer + cross layer); both fan
+	// out over the pool. Oracle outputs are QR(p) by construction, so the
+	// first layer takes the unchecked path.
+	double := func(vals []relation.Value, first, second *commutative.Key) ([]string, error) {
+		return parallel.Map(len(vals), workers, func(i int) (string, error) {
+			c := first.EncryptUnchecked(orc.HashValue(vals[i]))
+			d, err := second.ReEncrypt(c)
+			if err != nil {
+				return "", err
+			}
+			return d.Text(16), nil
+		})
+	}
 	// Sender: f_s(h(u)) for its values, shared with receiver, who
 	// re-encrypts to f_r(f_s(h(u))).
-	senderDouble := make(map[string]bool, len(sender))
-	for _, u := range sender {
-		c, err := kS.Encrypt(orc.HashValue(u))
-		if err != nil {
-			return nil, err
-		}
-		d, err := kR.ReEncrypt(c)
-		if err != nil {
-			return nil, err
-		}
-		senderDouble[d.String()] = true
+	senderKeys, err := double(sender, kS, kR)
+	if err != nil {
+		return nil, err
+	}
+	senderDouble := make(map[string]bool, len(senderKeys))
+	for _, k := range senderKeys {
+		senderDouble[k] = true
 	}
 	// Receiver: f_r(h(v)), sender re-encrypts to f_s(f_r(h(v))); the
 	// receiver matches against the sender's doubly-encrypted set.
+	receiverKeys, err := double(receiver, kR, kS)
+	if err != nil {
+		return nil, err
+	}
 	var out []relation.Value
-	for _, v := range receiver {
-		c, err := kR.Encrypt(orc.HashValue(v))
-		if err != nil {
-			return nil, err
-		}
-		d, err := kS.ReEncrypt(c)
-		if err != nil {
-			return nil, err
-		}
-		if senderDouble[d.String()] {
+	for i, v := range receiver {
+		if senderDouble[receiverKeys[i]] {
 			out = append(out, v)
 		}
 	}

@@ -80,7 +80,7 @@ func (s *Source) serveDAS(conn transport.Conn, pq *PartialQuery, rel *relation.R
 			}
 			its[i] = it
 		}
-		encRel, sess, err := das.EncryptRelation(rel, indexedCols, its, clientKey)
+		encRel, sess, err := das.EncryptRelation(rel, indexedCols, its, clientKey, pq.Params.Workers)
 		if err != nil {
 			return err
 		}
@@ -216,7 +216,7 @@ func (c *Client) runDAS(conn transport.Conn, q *sqlparse.Query, params Params, w
 		var discarded int
 		var err error
 		joined, discarded, err = das.DecryptServerResult(&res.Result, recv1, recv2,
-			its.Schema1, its.Schema2, its.JoinCols1, its.JoinCols2)
+			its.Schema1, its.Schema2, its.JoinCols1, its.JoinCols2, params.Workers)
 		if err != nil {
 			return err
 		}

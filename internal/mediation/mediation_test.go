@@ -486,7 +486,7 @@ func TestCommutativeIntersectionOperation(t *testing.T) {
 	}
 	recv := []rel.Value{rel.Int(1), rel.Int(2), rel.Int(3), rel.String_("x")}
 	send := []rel.Value{rel.Int(2), rel.Int(3), rel.Int(9), rel.String_("x")}
-	got, err := CommutativeIntersection(g, "sess", recv, send)
+	got, err := CommutativeIntersection(g, "sess", recv, send, 2)
 	if err != nil {
 		t.Fatal(err)
 	}

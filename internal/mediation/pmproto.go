@@ -1,7 +1,6 @@
 package mediation
 
 import (
-	"crypto/rand"
 	"encoding/binary"
 	"fmt"
 	"math/big"
@@ -9,6 +8,7 @@ import (
 	"github.com/secmediation/secmediation/internal/crypto/hybrid"
 	"github.com/secmediation/secmediation/internal/crypto/paillier"
 	"github.com/secmediation/secmediation/internal/leakage"
+	"github.com/secmediation/secmediation/internal/parallel"
 	"github.com/secmediation/secmediation/internal/pm"
 	"github.com/secmediation/secmediation/internal/relation"
 	"github.com/secmediation/secmediation/internal/transport"
@@ -85,7 +85,7 @@ func (s *Source) servePM(conn transport.Conn, pq *PartialQuery, rel *relation.Re
 		if err != nil {
 			return err
 		}
-		enc, err := buckets.Encrypt(pk)
+		enc, err := buckets.Encrypt(pk, pq.Params.Workers)
 		if err != nil {
 			return err
 		}
@@ -115,8 +115,12 @@ func (s *Source) servePM(conn transport.Conn, pq *PartialQuery, rel *relation.Re
 		}
 		s.Ledger.Observe(s.party(), "|domactive(opposite)|", oppDegree)
 
+		// Stage 1 (sequential): assemble the packed plaintexts. The hybrid
+		// payload table and its ID counter are shared state, and this stage
+		// is cheap symmetric crypto only.
 		aad := []byte("pm:" + pq.SessionID + ":" + rel.Schema().Relation)
 		var nextID uint64
+		packed := make([]*big.Int, len(groupsByKey))
 		for i, g := range groupsByKey {
 			tuplesBlob := relation.EncodeTupleSet(g.Tuples)
 			var payload []byte
@@ -147,24 +151,22 @@ func (s *Source) servePM(conn transport.Conn, pq *PartialQuery, rel *relation.Re
 			if err != nil {
 				return err
 			}
-			e, err := cross.Buckets.MaskedEval(pk, roots[i], m)
-			if err != nil {
-				return err
-			}
-			evals.Evals = append(evals.Evals, e)
+			packed[i] = m
+		}
+		// Stage 2 (parallel): the oblivious evaluations — Θ(max-load)
+		// homomorphic multiply-adds plus a masking and a re-randomization
+		// exponentiation per value — dominate the sender's cost; fan them
+		// out over the worker pool.
+		evals.Evals, err = parallel.Map(len(groupsByKey), pq.Params.Workers, func(i int) (*paillier.Ciphertext, error) {
+			return cross.Buckets.MaskedEval(pk, roots[i], packed[i])
+		})
+		if err != nil {
+			return err
 		}
 		s.Ledger.UsePrimitive(s.party(), "homomorphic-evaluation", int64(len(groupsByKey)))
 		s.Ledger.UsePrimitive(s.party(), "random-masking", int64(len(groupsByKey)))
 		// Shuffle the evaluations so positions carry no join-order signal.
-		for i := len(evals.Evals) - 1; i > 0; i-- {
-			jBig, err := rand.Int(rand.Reader, big.NewInt(int64(i+1)))
-			if err != nil {
-				return err
-			}
-			j := int(jBig.Int64())
-			evals.Evals[i], evals.Evals[j] = evals.Evals[j], evals.Evals[i]
-		}
-		return nil
+		return shuffleSlice(evals.Evals)
 	})
 	if err != nil {
 		return err
@@ -246,11 +248,11 @@ func (c *Client) runPM(conn transport.Conn, params Params, watch *stopwatch) (*r
 		c.Ledger.Observe(leakage.PartyClient, "encrypted-values-received", int64(len(res.Evals1)+len(res.Evals2)))
 		c.Ledger.UsePrimitive(leakage.PartyClient, "homomorphic-decryption", int64(len(res.Evals1)+len(res.Evals2)))
 
-		side1, err := c.openPMSide(hk, codec, res.Evals1, res.Table1, params.PayloadMode, res.Session, res.Schema1)
+		side1, err := c.openPMSide(hk, codec, res.Evals1, res.Table1, params, res.Session, res.Schema1)
 		if err != nil {
 			return err
 		}
-		side2, err := c.openPMSide(hk, codec, res.Evals2, res.Table2, params.PayloadMode, res.Session, res.Schema2)
+		side2, err := c.openPMSide(hk, codec, res.Evals2, res.Table2, params, res.Session, res.Schema2)
 		if err != nil {
 			return err
 		}
@@ -286,19 +288,25 @@ func (c *Client) runPM(conn transport.Conn, params Params, watch *stopwatch) (*r
 
 // openPMSide decrypts one source's evaluations and returns the decodable
 // (i.e. matching) entries keyed by root.
-func (c *Client) openPMSide(hk *paillier.PrivateKey, codec *pm.Codec, evals []*paillier.Ciphertext, table []pmPayloadEntry, mode PayloadMode, session string, schema relation.Schema) (pmSide, error) {
+func (c *Client) openPMSide(hk *paillier.PrivateKey, codec *pm.Codec, evals []*paillier.Ciphertext, table []pmPayloadEntry, params Params, session string, schema relation.Schema) (pmSide, error) {
+	mode := params.PayloadMode
 	relName := schema.Relation
 	byID := make(map[uint64][]byte, len(table))
 	for _, e := range table {
 		byID[e.ID] = e.Sealed
 	}
 	aad := []byte("pm:" + session + ":" + relName)
+	// The Paillier decryptions (one n-bit exponentiation each) dwarf the
+	// unpack/unseal work, so only they fan out over the worker pool; the
+	// side map is then assembled sequentially.
+	plains, err := parallel.Map(len(evals), params.Workers, func(i int) (*big.Int, error) {
+		return hk.Decrypt(evals[i])
+	})
+	if err != nil {
+		return nil, err
+	}
 	side := make(pmSide)
-	for _, e := range evals {
-		m, err := hk.Decrypt(e)
-		if err != nil {
-			return nil, err
-		}
+	for _, m := range plains {
 		root, payload, ok := codec.Unpack(m)
 		if !ok {
 			continue // non-matching value: decrypts to randomness

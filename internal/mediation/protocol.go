@@ -117,6 +117,13 @@ type Params struct {
 	Buckets int
 	// PaillierBits is the PM key size; the client generates the key.
 	PaillierBits int
+	// Workers bounds the worker pool every party uses for its per-value
+	// crypto hot loops (hash+encrypt+seal, re-encryption, oblivious
+	// evaluation, result decryption). 0 selects runtime.NumCPU() on each
+	// party's own machine; 1 forces the fully sequential execution the
+	// protocol listings describe. Transcripts are order-preserving, so
+	// the value never changes protocol results — only wall-clock time.
+	Workers int
 }
 
 func (p Params) withDefaults() Params {

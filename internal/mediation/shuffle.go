@@ -1,0 +1,62 @@
+package mediation
+
+import (
+	"bufio"
+	"crypto/rand"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math/bits"
+)
+
+// randIndexSource yields uniform random indices from a buffered CSPRNG
+// stream. The previous per-swap rand.Int path allocated a big.Int, a
+// one-shot byte slice and a syscall-sized read per swap; on large active
+// domains the shuffle showed up next to the exponentiations in profiles.
+// Buffering crypto/rand through bufio amortizes the syscalls and the
+// masked rejection sampling below needs no heap allocation at all.
+type randIndexSource struct {
+	br *bufio.Reader
+}
+
+func newRandIndexSource() *randIndexSource {
+	return &randIndexSource{br: bufio.NewReaderSize(rand.Reader, 4096)}
+}
+
+// intn returns a uniform int in [0, n). n must be in [1, 2^31].
+func (r *randIndexSource) intn(n int) (int, error) {
+	if n <= 0 || n > 1<<31 {
+		return 0, fmt.Errorf("mediation: shuffle bound %d out of range", n)
+	}
+	if n == 1 {
+		return 0, nil
+	}
+	// Rejection-sample a masked uint32: mask is the smallest all-ones
+	// value ≥ n-1, so each draw accepts with probability > 1/2.
+	mask := uint32(1)<<bits.Len32(uint32(n-1)) - 1
+	var buf [4]byte
+	for {
+		if _, err := io.ReadFull(r.br, buf[:]); err != nil {
+			return 0, fmt.Errorf("mediation: shuffle randomness: %w", err)
+		}
+		v := binary.BigEndian.Uint32(buf[:]) & mask
+		if int(v) < n {
+			return int(v), nil
+		}
+	}
+}
+
+// shuffleSlice applies a cryptographic Fisher–Yates shuffle, realizing
+// the paper's "arbitrarily ordered set of messages" for any message
+// slice (commutative items, PM evaluations).
+func shuffleSlice[T any](items []T) error {
+	src := newRandIndexSource()
+	for i := len(items) - 1; i > 0; i-- {
+		j, err := src.intn(i + 1)
+		if err != nil {
+			return err
+		}
+		items[i], items[j] = items[j], items[i]
+	}
+	return nil
+}

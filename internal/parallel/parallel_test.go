@@ -1,0 +1,104 @@
+package parallel
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestResolve(t *testing.T) {
+	if got := Resolve(0); got != runtime.NumCPU() {
+		t.Errorf("Resolve(0) = %d, want NumCPU %d", got, runtime.NumCPU())
+	}
+	if got := Resolve(-3); got != 1 {
+		t.Errorf("Resolve(-3) = %d, want 1", got)
+	}
+	if got := Resolve(7); got != 7 {
+		t.Errorf("Resolve(7) = %d, want 7", got)
+	}
+}
+
+func TestForEachCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 8, 100} {
+		for _, n := range []int{0, 1, 2, 7, 64, 1000} {
+			hits := make([]atomic.Int32, n)
+			err := ForEach(n, workers, func(i int) error {
+				hits[i].Add(1)
+				return nil
+			})
+			if err != nil {
+				t.Fatalf("workers=%d n=%d: %v", workers, n, err)
+			}
+			for i := range hits {
+				if c := hits[i].Load(); c != 1 {
+					t.Fatalf("workers=%d n=%d: index %d visited %d times", workers, n, i, c)
+				}
+			}
+		}
+	}
+}
+
+func TestMapPreservesOrder(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 16} {
+		out, err := Map(500, workers, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestFirstErrorPropagates(t *testing.T) {
+	boom := fmt.Errorf("boom")
+	for _, workers := range []int{1, 4} {
+		_, err := Map(200, workers, func(i int) (int, error) {
+			if i == 137 {
+				return 0, boom
+			}
+			return i, nil
+		})
+		if err != boom {
+			t.Fatalf("workers=%d: got %v, want %v", workers, err, boom)
+		}
+	}
+}
+
+func TestErrorStopsDistribution(t *testing.T) {
+	// After an early error, later chunks must not start: with chunking we
+	// can only assert that far fewer than n items ran when the very first
+	// item fails (in-flight chunk items may still finish).
+	var ran atomic.Int32
+	err := ForEach(10000, 4, func(i int) error {
+		ran.Add(1)
+		return fmt.Errorf("fail at %d", i)
+	})
+	if err == nil {
+		t.Fatal("expected an error")
+	}
+	if ran.Load() > 10000/2 {
+		t.Errorf("error did not stop distribution: %d of 10000 items ran", ran.Load())
+	}
+}
+
+func TestSequentialRunsInline(t *testing.T) {
+	// workers=1 must execute on the calling goroutine in index order.
+	var last = -1
+	err := ForEach(100, 1, func(i int) error {
+		if i != last+1 {
+			t.Fatalf("out-of-order sequential execution: %d after %d", i, last)
+		}
+		last = i
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if last != 99 {
+		t.Fatalf("sequential run stopped at %d", last)
+	}
+}

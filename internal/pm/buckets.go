@@ -8,6 +8,7 @@ import (
 	"math/big"
 
 	"github.com/secmediation/secmediation/internal/crypto/paillier"
+	"github.com/secmediation/secmediation/internal/parallel"
 )
 
 // BucketIndex assigns a root to one of b buckets by hashing; chooser and
@@ -80,15 +81,24 @@ type EncryptedBuckets struct {
 	Polys []*EncryptedPolynomial
 }
 
-// Encrypt encrypts every bucket polynomial.
-func (b *Buckets) Encrypt(pk *paillier.PublicKey) (*EncryptedBuckets, error) {
+// Encrypt encrypts every bucket polynomial. The (bucket, coefficient)
+// space is flattened before fanning out over the worker pool, so the pool
+// stays evenly loaded whether the parameters give one huge polynomial or
+// many low-degree ones.
+func (b *Buckets) Encrypt(pk *paillier.PublicKey, workers int) (*EncryptedBuckets, error) {
+	if pk.N.Cmp(b.N) != 0 {
+		return nil, fmt.Errorf("pm: bucket modulus differs from key modulus")
+	}
+	stride := b.MaxDegree() + 1 // every bucket is padded to uniform degree
+	flat, err := parallel.Map(len(b.Polys)*stride, workers, func(i int) (*paillier.Ciphertext, error) {
+		return pk.Encrypt(rand.Reader, b.Polys[i/stride].Coeffs[i%stride])
+	})
+	if err != nil {
+		return nil, err
+	}
 	out := &EncryptedBuckets{Polys: make([]*EncryptedPolynomial, len(b.Polys))}
-	for i, p := range b.Polys {
-		ep, err := p.Encrypt(pk)
-		if err != nil {
-			return nil, err
-		}
-		out.Polys[i] = ep
+	for i := range b.Polys {
+		out.Polys[i] = &EncryptedPolynomial{Coeffs: flat[i*stride : (i+1)*stride]}
 	}
 	return out, nil
 }

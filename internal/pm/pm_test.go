@@ -101,7 +101,7 @@ func TestEncryptedEvaluationMatchesPlain(t *testing.T) {
 	k := testKey(t)
 	roots := []*big.Int{big.NewInt(11), big.NewInt(22), big.NewInt(33)}
 	p, _ := FromRoots(roots, k.N)
-	ep, err := p.Encrypt(&k.PublicKey)
+	ep, err := p.Encrypt(&k.PublicKey, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,7 +123,7 @@ func TestEncryptedEvaluationMatchesPlain(t *testing.T) {
 func TestEncryptModulusMismatch(t *testing.T) {
 	k := testKey(t)
 	p, _ := FromRoots([]*big.Int{big.NewInt(5)}, big.NewInt(999983))
-	if _, err := p.Encrypt(&k.PublicKey); err == nil {
+	if _, err := p.Encrypt(&k.PublicKey, 1); err == nil {
 		t.Error("modulus mismatch accepted")
 	}
 }
@@ -137,7 +137,7 @@ func TestMaskedEvalRootRevealsPayload(t *testing.T) {
 	v1, v2 := rel.Int(100), rel.Int(200)
 	roots := []*big.Int{RootOfValue(v1), RootOfValue(v2)}
 	p, _ := FromRoots(roots, k.N)
-	ep, _ := p.Encrypt(&k.PublicKey)
+	ep, _ := p.Encrypt(&k.PublicKey, 1)
 
 	// Root hit: payload recoverable.
 	m, err := codec.PackValue(v1, []byte("tuples-of-100"))
@@ -254,7 +254,7 @@ func TestBucketsEndToEnd(t *testing.T) {
 			t.Error("bucket degrees not uniform (loads leak)")
 		}
 	}
-	eb, err := bs.Encrypt(&k.PublicKey)
+	eb, err := bs.Encrypt(&k.PublicKey, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

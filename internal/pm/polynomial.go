@@ -20,6 +20,7 @@ import (
 	"math/big"
 
 	"github.com/secmediation/secmediation/internal/crypto/paillier"
+	"github.com/secmediation/secmediation/internal/parallel"
 	"github.com/secmediation/secmediation/internal/relation"
 )
 
@@ -102,22 +103,22 @@ type EncryptedPolynomial struct {
 	Coeffs []*paillier.Ciphertext
 }
 
-// Encrypt encrypts every coefficient under the client's public key. The
-// number of coefficients — hence |domactive| — is visible to anyone who
-// sees the result (Table 1's mediator leakage for the PM protocol).
-func (p *Polynomial) Encrypt(pk *paillier.PublicKey) (*EncryptedPolynomial, error) {
+// Encrypt encrypts every coefficient under the client's public key across
+// a worker pool (workers as in parallel.Resolve; coefficient order is
+// preserved). The number of coefficients — hence |domactive| — is visible
+// to anyone who sees the result (Table 1's mediator leakage for the PM
+// protocol).
+func (p *Polynomial) Encrypt(pk *paillier.PublicKey, workers int) (*EncryptedPolynomial, error) {
 	if pk.N.Cmp(p.N) != 0 {
 		return nil, fmt.Errorf("pm: polynomial modulus differs from key modulus")
 	}
-	out := &EncryptedPolynomial{Coeffs: make([]*paillier.Ciphertext, len(p.Coeffs))}
-	for i, c := range p.Coeffs {
-		ct, err := pk.Encrypt(rand.Reader, c)
-		if err != nil {
-			return nil, err
-		}
-		out.Coeffs[i] = ct
+	coeffs, err := parallel.Map(len(p.Coeffs), workers, func(i int) (*paillier.Ciphertext, error) {
+		return pk.Encrypt(rand.Reader, p.Coeffs[i])
+	})
+	if err != nil {
+		return nil, err
 	}
-	return out, nil
+	return &EncryptedPolynomial{Coeffs: coeffs}, nil
 }
 
 // EvalEncrypted computes E(P(a)) from encrypted coefficients by Horner's
