@@ -1,11 +1,21 @@
 GO ?= go
 
-.PHONY: all vet build test race bench parallel-report
+.PHONY: all vet lint lint-json build test race bench parallel-report
 
-all: vet build test race
+all: vet lint build test race
 
 vet:
 	$(GO) vet ./...
+
+# Crypto-invariant static analysis (cmd/seclint): weakrand, subtlecmp,
+# secretfmt, errdrop, rawexp over every module package, gated on the
+# audited exceptions in seclint.allow. Non-zero exit on any finding.
+lint:
+	$(GO) run ./cmd/seclint
+
+# Machine-readable findings for tooling; same gate, JSON array output.
+lint-json:
+	$(GO) run ./cmd/seclint -json
 
 build:
 	$(GO) build ./...

@@ -96,7 +96,9 @@ func buildSource(name string, cas, rels, requires stringList) (*mediation.Source
 			return nil, err
 		}
 		r, err := relation.ReadCSV(relName, f)
-		f.Close()
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
 		if err != nil {
 			return nil, fmt.Errorf("loading %s: %w", path, err)
 		}

@@ -19,6 +19,7 @@ import (
 	"crypto/rand"
 	"crypto/rsa"
 	"crypto/sha256"
+	"crypto/subtle"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -106,11 +107,35 @@ func Decrypt(priv *rsa.PrivateKey, c *Ciphertext, aad []byte) ([]byte, error) {
 	if len(c.WrappedKey) == 0 {
 		return nil, fmt.Errorf("hybrid: ciphertext has no wrapped key (session ciphertext?)")
 	}
-	key, err := rsa.DecryptOAEP(sha256.New(), nil, priv, c.WrappedKey, []byte("secmediation/hybrid"))
+	key, err := unwrapSessionKey(priv, c.WrappedKey)
+	if err != nil {
+		return nil, err
+	}
+	return open(key, c.Nonce, c.Sealed, aad)
+}
+
+// KeyEqual compares two keys (or tags) in constant time. Every key
+// comparison in the codebase must go through this or
+// subtle.ConstantTimeCompare directly — bytes.Equal short-circuits and
+// leaks the length of the matching prefix to a timing observer
+// (enforced by seclint's subtlecmp analyzer).
+func KeyEqual(a, b []byte) bool {
+	return subtle.ConstantTimeCompare(a, b) == 1
+}
+
+// unwrapSessionKey recovers and validates a session key. OAEP already
+// authenticates the padding, but a wrapped blob produced by a different
+// (or malicious) sender could still carry a short key; AES would accept
+// 16 or 24 bytes silently, downgrading the advertised AES-256 strength.
+func unwrapSessionKey(priv *rsa.PrivateKey, wrappedKey []byte) ([]byte, error) {
+	key, err := rsa.DecryptOAEP(sha256.New(), nil, priv, wrappedKey, []byte("secmediation/hybrid"))
 	if err != nil {
 		return nil, fmt.Errorf("hybrid: unwrap session key: %w", err)
 	}
-	return open(key, c.Nonce, c.Sealed, aad)
+	if len(key) != sessionKeyLen {
+		return nil, fmt.Errorf("hybrid: unwrapped session key has %d bytes, want %d", len(key), sessionKeyLen)
+	}
+	return key, nil
 }
 
 // Session is a sender-side hybrid session: one wrapped session key, many
@@ -155,9 +180,9 @@ type Receiver struct {
 
 // NewReceiver unwraps a session key with the client's private key.
 func NewReceiver(priv *rsa.PrivateKey, wrappedKey []byte) (*Receiver, error) {
-	key, err := rsa.DecryptOAEP(sha256.New(), nil, priv, wrappedKey, []byte("secmediation/hybrid"))
+	key, err := unwrapSessionKey(priv, wrappedKey)
 	if err != nil {
-		return nil, fmt.Errorf("hybrid: unwrap session key: %w", err)
+		return nil, err
 	}
 	return &Receiver{key: key}, nil
 }

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"crypto/rand"
 	"crypto/rsa"
+	"crypto/sha256"
 	"sync"
 	"testing"
 	"testing/quick"
@@ -157,5 +158,39 @@ func TestEncryptionIsRandomized(t *testing.T) {
 	c2, _ := Encrypt(&key.PublicKey, []byte("m"), nil)
 	if bytes.Equal(c1.Sealed, c2.Sealed) && bytes.Equal(c1.Nonce, c2.Nonce) {
 		t.Error("two encryptions of the same message are identical")
+	}
+}
+
+func TestKeyEqual(t *testing.T) {
+	a := []byte{1, 2, 3, 4}
+	b := []byte{1, 2, 3, 4}
+	if !KeyEqual(a, b) {
+		t.Error("equal keys reported unequal")
+	}
+	if KeyEqual(a, []byte{1, 2, 3, 5}) {
+		t.Error("unequal keys reported equal")
+	}
+	if KeyEqual(a, a[:3]) {
+		t.Error("length mismatch reported equal")
+	}
+	if !KeyEqual(nil, nil) {
+		t.Error("two empty keys must compare equal")
+	}
+}
+
+func TestReceiverRejectsShortSessionKey(t *testing.T) {
+	key := clientKey(t)
+	// A well-formed OAEP blob wrapping an AES-128-length key: accepting
+	// it would silently downgrade the advertised AES-256 strength.
+	short := make([]byte, 16)
+	wrapped, err := rsa.EncryptOAEP(sha256.New(), rand.Reader, &key.PublicKey, short, []byte("secmediation/hybrid"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewReceiver(key, wrapped); err == nil {
+		t.Error("NewReceiver accepted a 16-byte session key")
+	}
+	if _, err := Decrypt(key, &Ciphertext{WrappedKey: wrapped, Nonce: make([]byte, 12)}, nil); err == nil {
+		t.Error("Decrypt accepted a 16-byte session key")
 	}
 }

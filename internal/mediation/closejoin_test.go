@@ -1,0 +1,55 @@
+package mediation
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"github.com/secmediation/secmediation/internal/transport"
+)
+
+// failCloseConn wraps a Conn with an injectable Close error — the
+// in-memory pair's Close never fails, so the close-error path of
+// closeJoin is only reachable through a stub.
+type failCloseConn struct {
+	transport.Conn
+	closeErr error
+	closes   int
+}
+
+func (c *failCloseConn) Close() error {
+	c.closes++
+	return c.closeErr
+}
+
+func TestCloseJoin(t *testing.T) {
+	a, b := transport.Pair()
+	defer b.Close()
+
+	boom := errors.New("boom")
+	c := &failCloseConn{Conn: a, closeErr: boom}
+
+	// A close failure after a successful protocol run must surface.
+	err := closeJoin(c, nil)
+	if err == nil || !errors.Is(err, boom) {
+		t.Fatalf("closeJoin(nil protocol error) = %v, want wrapped %v", err, boom)
+	}
+	if !strings.Contains(err.Error(), "closing session connection") {
+		t.Errorf("close error not labeled: %v", err)
+	}
+
+	// The protocol error takes precedence over the close error.
+	perr := errors.New("protocol failed")
+	if err := closeJoin(c, perr); err != perr {
+		t.Errorf("closeJoin(protocol error) = %v, want the protocol error", err)
+	}
+	if c.closes != 2 {
+		t.Errorf("Close called %d times, want 2 (closed on every path)", c.closes)
+	}
+
+	// Clean close, clean protocol: nil.
+	c.closeErr = nil
+	if err := closeJoin(c, nil); err != nil {
+		t.Errorf("closeJoin clean = %v, want nil", err)
+	}
+}

@@ -46,12 +46,15 @@ func NewNetwork(client *Client, mediator *Mediator, sources ...*Source) (*Networ
 			mediator.Routes[name] = func() (transport.Conn, error) {
 				a, b := transport.Pair()
 				go func() {
-					if err := src.Serve(b); err != nil {
+					err := src.Serve(b)
+					if cerr := b.Close(); err == nil {
+						err = cerr
+					}
+					if err != nil {
 						n.mu.Lock()
 						n.sourceErrs = append(n.sourceErrs, err)
 						n.mu.Unlock()
 					}
-					b.Close()
 				}()
 				return a, nil
 			}
@@ -82,11 +85,10 @@ func (n *Network) runSession(sql string, proto Protocol, params Params) (*relati
 	clientSide, mediatorSide := transport.Pair()
 	done := make(chan error, 1)
 	go func() {
-		done <- n.Mediator.HandleSession(mediatorSide)
-		mediatorSide.Close()
+		done <- closeJoin(mediatorSide, n.Mediator.HandleSession(mediatorSide))
 	}()
 	res, err := n.Client.Query(clientSide, sql, proto, params)
-	clientSide.Close()
+	err = closeJoin(clientSide, err)
 	medErr := <-done
 	if err != nil {
 		return nil, err
@@ -95,6 +97,20 @@ func (n *Network) runSession(sql string, proto Protocol, params Params) (*relati
 		return nil, fmt.Errorf("mediation: mediator failed after client success: %w", medErr)
 	}
 	return res, nil
+}
+
+// closeJoin closes c and folds the close error into the protocol
+// result: a failed Close after a successful protocol run can mean lost
+// frames on a real transport and must not vanish silently.
+func closeJoin(c transport.Conn, err error) error {
+	cerr := c.Close()
+	if err != nil {
+		return err
+	}
+	if cerr != nil {
+		return fmt.Errorf("mediation: closing session connection: %w", cerr)
+	}
+	return nil
 }
 
 // SourceErrors drains errors raised by source handler goroutines; useful
@@ -128,11 +144,10 @@ func (n *Network) Intersect(rel1, rel2 string, params Params) (*relation.Relatio
 	clientSide, mediatorSide := transport.Pair()
 	done := make(chan error, 1)
 	go func() {
-		done <- n.Mediator.HandleSession(mediatorSide)
-		mediatorSide.Close()
+		done <- closeJoin(mediatorSide, n.Mediator.HandleSession(mediatorSide))
 	}()
 	res, err := n.Client.Intersect(clientSide, rel1, rel2, params)
-	clientSide.Close()
+	err = closeJoin(clientSide, err)
 	medErr := <-done
 	if err != nil {
 		return nil, err

@@ -197,7 +197,12 @@ func sendError(conn transport.Conn, err error) {
 	if e != nil {
 		return
 	}
-	_ = conn.Send(m)
+	if serr := conn.Send(m); serr != nil {
+		// The peer is already unreachable; the caller's original error is
+		// what surfaces, and the peer's own Recv will fail on the dead
+		// link, so there is nothing further to do with serr.
+		return
+	}
 }
 
 // recvExpect receives the next message, turning msgError payloads into

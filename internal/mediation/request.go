@@ -113,14 +113,14 @@ func decompose(sql string, schemas map[string]relation.Schema) (*decomposition, 
 		for i := range q.JoinLeft {
 			c1 := localColumn(q.JoinLeft[i], q.Left)
 			c2 := localColumn(q.JoinRight[i], q.Right)
-			if s1.IndexOf(c1) < 0 {
+			k1, err := s1.KindOf(c1)
+			if err != nil {
 				return nil, fmt.Errorf("mediation: %s has no join column %q", q.Left, c1)
 			}
-			if s2.IndexOf(c2) < 0 {
+			k2, err := s2.KindOf(c2)
+			if err != nil {
 				return nil, fmt.Errorf("mediation: %s has no join column %q", q.Right, c2)
 			}
-			k1, _ := s1.KindOf(c1)
-			k2, _ := s2.KindOf(c2)
 			if k1 != k2 {
 				return nil, fmt.Errorf("mediation: join column kinds differ: %s.%s is %v, %s.%s is %v", q.Left, c1, k1, q.Right, c2, k2)
 			}

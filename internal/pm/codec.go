@@ -1,8 +1,8 @@
 package pm
 
 import (
-	"bytes"
 	"crypto/sha256"
+	"crypto/subtle"
 	"encoding/binary"
 	"fmt"
 	"math/big"
@@ -82,7 +82,10 @@ func (c *Codec) Unpack(m *big.Int) (root *big.Int, payload []byte, ok bool) {
 	buf := make([]byte, c.Width)
 	m.FillBytes(buf)
 	rootB := buf[:RootBytes]
-	if !bytes.Equal(buf[RootBytes:RootBytes+tagBytes], tagOf(rootB)) {
+	// Constant-time tag check: Unpack runs on every candidate
+	// decryption, so an early-exit compare would let a timing observer
+	// distinguish near-miss tags from random ones (seclint: subtlecmp).
+	if subtle.ConstantTimeCompare(buf[RootBytes:RootBytes+tagBytes], tagOf(rootB)) != 1 {
 		return nil, nil, false
 	}
 	n := int(binary.BigEndian.Uint32(buf[RootBytes+tagBytes:]))

@@ -300,3 +300,28 @@ func TestBucketIndexStable(t *testing.T) {
 		t.Errorf("bucket assignment badly skewed: %v", spread)
 	}
 }
+
+func TestUnpackRejectsTamperedTag(t *testing.T) {
+	k := testKey(t)
+	codec, _ := NewCodec(&k.PublicKey)
+	m, err := codec.PackValue(rel.Int(7), []byte("payload"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, codec.Width)
+	m.FillBytes(buf)
+	// Flipping any bit of the embedded tag must make the (constant-time)
+	// tag check reject the message.
+	for i := RootBytes; i < RootBytes+tagBytes; i++ {
+		tampered := make([]byte, len(buf))
+		copy(tampered, buf)
+		tampered[i] ^= 0x01
+		if _, _, ok := codec.Unpack(new(big.Int).SetBytes(tampered)); ok {
+			t.Fatalf("tampered tag byte %d accepted", i)
+		}
+	}
+	// Untampered control: still unpacks.
+	if _, _, ok := codec.Unpack(new(big.Int).SetBytes(buf)); !ok {
+		t.Fatal("control message no longer unpacks")
+	}
+}

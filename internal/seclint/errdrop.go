@@ -1,0 +1,141 @@
+package seclint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Errdrop flags discarded error returns in non-test internal/ code:
+// statement-level calls whose error result vanishes, and `_ =` blank
+// assignments of error results (including crypto constructors and
+// rand.Read-style calls). A swallowed error in a protocol hot path can
+// silently degrade a security property — e.g. an unchecked Send of an
+// abort message leaves the peer computing on a dead session, and an
+// unchecked Close can mask lost frames on a real transport.
+//
+// Deliberately exempt (documented in docs/STATIC_ANALYSIS.md):
+//   - defer'd and go'd calls (teardown-path convention);
+//   - Write* methods on in-memory sinks (hash.Hash, bytes.Buffer,
+//     strings.Builder and writer-shaped interfaces), which are
+//     documented never to fail.
+var Errdrop = &Analyzer{
+	Name: "errdrop",
+	Doc:  "discarded error results in non-test internal/ code",
+	Run:  runErrdrop,
+}
+
+func runErrdrop(p *Pass) {
+	if !p.InDir("internal") {
+		return
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch stmt := n.(type) {
+			case *ast.ExprStmt:
+				call, ok := stmt.X.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				errIdx, _ := p.callResultErrors(call)
+				if len(errIdx) == 0 || exemptWriter(p, call) {
+					return true
+				}
+				p.Reportf(call.Pos(), "error result of %s dropped; handle it or blank-assign with an allowlisted justification", callLabel(call))
+			case *ast.AssignStmt:
+				checkBlankErrAssign(p, stmt)
+			}
+			return true
+		})
+	}
+}
+
+// checkBlankErrAssign flags `_ = errCall()` and `v, _ := f()` patterns
+// where the blanked position carries the error result.
+func checkBlankErrAssign(p *Pass, stmt *ast.AssignStmt) {
+	if len(stmt.Rhs) == 1 {
+		call, ok := stmt.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		errIdx, n := p.callResultErrors(call)
+		if len(errIdx) == 0 || len(stmt.Lhs) != n || exemptWriter(p, call) {
+			return
+		}
+		for _, i := range errIdx {
+			if id, ok := stmt.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+				p.Reportf(stmt.Pos(), "error result of %s discarded with _; handle it or allowlist with a justification", callLabel(call))
+				return
+			}
+		}
+		return
+	}
+	// Parallel assignment: x, _ = f(), g() — check each 1:1 pair.
+	if len(stmt.Lhs) != len(stmt.Rhs) {
+		return
+	}
+	for i, rhs := range stmt.Rhs {
+		call, ok := rhs.(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		errIdx, n := p.callResultErrors(call)
+		if len(errIdx) == 0 || n != 1 || exemptWriter(p, call) {
+			continue
+		}
+		if id, ok := stmt.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+			p.Reportf(rhs.Pos(), "error result of %s discarded with _; handle it or allowlist with a justification", callLabel(call))
+		}
+	}
+}
+
+// exemptWriter reports whether call is a Write-style method on an
+// in-memory sink that is documented never to fail: hash.Hash (and any
+// writer-shaped interface, e.g. the anonymous digest interfaces),
+// bytes.Buffer and strings.Builder.
+func exemptWriter(p *Pass, call *ast.CallExpr) bool {
+	// fmt.Fprint* into an in-memory sink: the sink's Write never fails,
+	// so neither does the Fprint.
+	for _, fn := range [...]string{"Fprintf", "Fprint", "Fprintln"} {
+		if p.pkgFunc(call, "fmt", fn) && len(call.Args) > 0 {
+			return isMemorySink(p.TypeOf(call.Args[0]))
+		}
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	switch sel.Sel.Name {
+	case "Write", "WriteString", "WriteByte", "WriteRune":
+	default:
+		return false
+	}
+	t := p.TypeOf(sel.X)
+	if t == nil {
+		return false
+	}
+	if _, ok := t.Underlying().(*types.Interface); ok {
+		return true
+	}
+	return isMemorySink(t)
+}
+
+// isMemorySink reports whether t is a bytes or strings package type
+// (Buffer, Builder, Reader): their Write methods are documented never
+// to return an error.
+func isMemorySink(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	switch named.Obj().Pkg().Path() {
+	case "bytes", "strings":
+		return true
+	}
+	return false
+}

@@ -1,0 +1,235 @@
+package seclint
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// secretWords are the identifier words that mark an expression as secret
+// material for the subtlecmp and secretfmt analyzers. Matching is per
+// camelCase/snake_case word, so "WrappedKey" and "tagOf" match while
+// "macro" and "message" do not.
+var secretWords = map[string]bool{
+	"key":      true,
+	"secret":   true,
+	"mac":      true,
+	"hmac":     true,
+	"tag":      true,
+	"wrapped":  true,
+	"digest":   true,
+	"password": true,
+	"passwd":   true,
+	"token":    true,
+}
+
+// identWords splits an identifier into lower-cased words at case
+// transitions, underscores and digits.
+func identWords(name string) []string {
+	var words []string
+	var cur strings.Builder
+	flush := func() {
+		if cur.Len() > 0 {
+			words = append(words, strings.ToLower(cur.String()))
+			cur.Reset()
+		}
+	}
+	runes := []rune(name)
+	for i, r := range runes {
+		switch {
+		case r == '_' || unicode.IsDigit(r):
+			flush()
+		case unicode.IsUpper(r):
+			// Split at lower→Upper and at the last Upper of an
+			// ALLCAPS run followed by lower (e.g. "HMACKey" → hmac, key).
+			if i > 0 && (unicode.IsLower(runes[i-1]) ||
+				(i+1 < len(runes) && unicode.IsLower(runes[i+1]))) {
+				flush()
+			}
+			cur.WriteRune(r)
+		default:
+			cur.WriteRune(r)
+		}
+	}
+	flush()
+	return words
+}
+
+// neutralWords mark identifiers that speak about a secret without
+// carrying it: keyPath and keyFile are locations, sessionKeyLen and
+// keyCount are public protocol constants. Any neutral word in the
+// identifier overrides the secret words.
+var neutralWords = map[string]bool{
+	"path":   true,
+	"file":   true,
+	"dir":    true,
+	"name":   true,
+	"len":    true,
+	"length": true,
+	"size":   true,
+	"count":  true,
+	"num":    true,
+	"id":     true,
+	"bits":   true,
+}
+
+// isSecretName reports whether an identifier names secret material.
+func isSecretName(name string) bool {
+	secret := false
+	for _, w := range identWords(name) {
+		if neutralWords[w] {
+			return false
+		}
+		if secretWords[w] {
+			secret = true
+		}
+	}
+	return secret
+}
+
+// secretIn walks an expression and returns the first identifier that
+// names secret material (e.g. the tagBytes in buf[n:n+tagBytes], or the
+// callee tagOf in tagOf(root)).
+func secretIn(e ast.Expr) (string, bool) {
+	var found string
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found != "" {
+			return false
+		}
+		switch id := n.(type) {
+		case *ast.Ident:
+			if isSecretName(id.Name) {
+				found = id.Name
+				return false
+			}
+		}
+		return true
+	})
+	return found, found != ""
+}
+
+// pkgFunc reports whether call invokes the package-level function
+// pkgPath.fn (e.g. "bytes", "Equal"). It resolves the qualifier through
+// type info when available and falls back to the file's imports.
+func (p *Pass) pkgFunc(call *ast.CallExpr, pkgPath, fn string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != fn {
+		return false
+	}
+	qual, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	if p.Info != nil {
+		if obj, ok := p.Info.Uses[qual]; ok {
+			if pn, ok := obj.(*types.PkgName); ok {
+				return pn.Imported().Path() == pkgPath
+			}
+			return false
+		}
+	}
+	// No type info: accept when the qualifier matches an import of
+	// pkgPath in any of the package's files.
+	for _, f := range p.Files {
+		for _, imp := range f.Imports {
+			ip, err := strconv.Unquote(imp.Path.Value)
+			if err != nil || ip != pkgPath {
+				continue
+			}
+			name := ip[strings.LastIndex(ip, "/")+1:]
+			if imp.Name != nil {
+				name = imp.Name.Name
+			}
+			if name == qual.Name {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// isBigIntPtr reports whether t is *math/big.Int (or big.Int). A nil
+// type (missing info) returns defaultTo, letting analyzers choose how
+// to degrade.
+func isBigIntPtr(t types.Type, defaultTo bool) bool {
+	if t == nil {
+		return defaultTo
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Int" && obj.Pkg() != nil && obj.Pkg().Path() == "math/big"
+}
+
+// isByteArray reports whether t is a fixed-size byte array [N]byte.
+func isByteArray(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	arr, ok := t.Underlying().(*types.Array)
+	if !ok {
+		return false
+	}
+	basic, ok := arr.Elem().Underlying().(*types.Basic)
+	return ok && basic.Kind() == types.Uint8
+}
+
+// isErrorType reports whether t is the built-in error type.
+func isErrorType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}
+
+// callResultErrors returns the indices of error-typed results of call,
+// and the total result count. Missing type info yields (nil, 0).
+func (p *Pass) callResultErrors(call *ast.CallExpr) (errIdx []int, n int) {
+	t := p.TypeOf(call)
+	if t == nil {
+		return nil, 0
+	}
+	if tuple, ok := t.(*types.Tuple); ok {
+		for i := 0; i < tuple.Len(); i++ {
+			if isErrorType(tuple.At(i).Type()) {
+				errIdx = append(errIdx, i)
+			}
+		}
+		return errIdx, tuple.Len()
+	}
+	if isErrorType(t) {
+		return []int{0}, 1
+	}
+	return nil, 1
+}
+
+// callLabel renders a short human-readable name for a call expression.
+func callLabel(call *ast.CallExpr) string {
+	switch fn := call.Fun.(type) {
+	case *ast.Ident:
+		return fn.Name
+	case *ast.SelectorExpr:
+		if id, ok := fn.X.(*ast.Ident); ok {
+			return id.Name + "." + fn.Sel.Name
+		}
+		return fn.Sel.Name
+	}
+	return "call"
+}
+
+// importPathOf unquotes an import spec path, returning "" on error.
+func importPathOf(spec *ast.ImportSpec) string {
+	p, err := strconv.Unquote(spec.Path.Value)
+	if err != nil {
+		return ""
+	}
+	return p
+}

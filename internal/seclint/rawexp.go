@@ -1,0 +1,133 @@
+package seclint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Rawexp flags unreduced big.Int arithmetic in internal/crypto:
+// Exp(x, y, nil) — a full-width exponentiation whose result leaks the
+// exponent magnitude and costs superpolynomial memory — and chains of
+// two or more Mul calls on the same value with no intervening modular
+// reduction, which in Paillier/commutative-group code almost always
+// means a missing `Mod n²` and values that grow without bound.
+var Rawexp = &Analyzer{
+	Name: "rawexp",
+	Doc:  "big.Int Exp with nil modulus, or repeated Mul without reduction, in internal/crypto",
+	Run:  runRawexp,
+}
+
+// reducers are big.Int methods that bound or replace the receiver's
+// value, resetting the "pending unreduced Mul" state for it.
+var reducers = map[string]bool{
+	"Mod":        true,
+	"Div":        true,
+	"Rem":        true,
+	"Exp":        true,
+	"ModInverse": true,
+	"ModSqrt":    true,
+	"DivMod":     true,
+	"QuoRem":     true,
+	"Set":        true,
+	"SetInt64":   true,
+	"SetUint64":  true,
+	"SetBytes":   true,
+	"SetString":  true,
+	"Rsh":        true,
+}
+
+func runRawexp(p *Pass) {
+	if !p.InDir("internal/crypto") {
+		return
+	}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFuncRawexp(p, fd.Body)
+		}
+	}
+}
+
+// checkFuncRawexp walks one function body in source order, flagging
+// Exp-with-nil-modulus anywhere and the second Mul on the same object
+// without an intervening reducer.
+func checkFuncRawexp(p *Pass, body *ast.BlockStmt) {
+	// pendingMul maps a *big.Int variable to true once it has received
+	// an unreduced Mul result; a second Mul while pending is flagged.
+	pendingMul := map[types.Object]bool{}
+
+	objOf := func(e ast.Expr) types.Object {
+		id, ok := e.(*ast.Ident)
+		if !ok || p.Info == nil {
+			return nil
+		}
+		if obj, ok := p.Info.Uses[id]; ok {
+			return obj
+		}
+		return p.Info.Defs[id]
+	}
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		// x := new(big.Int).Mul(a, b) — the receiver is a fresh
+		// constructor, so the unreduced product lives in x.
+		if as, ok := n.(*ast.AssignStmt); ok && len(as.Lhs) == 1 && len(as.Rhs) == 1 {
+			if call, ok := as.Rhs[0].(*ast.CallExpr); ok {
+				if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Mul" && len(call.Args) == 2 {
+					if _, isIdent := sel.X.(*ast.Ident); !isIdent && isBigIntPtr(p.TypeOf(sel.X), true) {
+						if lhs := objOf(as.Lhs[0]); lhs != nil {
+							pendingMul[lhs] = true
+						}
+						return true
+					}
+				}
+			}
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		recv := objOf(sel.X)
+		switch {
+		case sel.Sel.Name == "Exp" && len(call.Args) == 3:
+			if !isBigIntPtr(p.TypeOf(sel.X), true) {
+				return true
+			}
+			if id, ok := call.Args[2].(*ast.Ident); ok && id.Name == "nil" {
+				p.Reportf(call.Pos(), "big.Int.Exp with nil modulus computes a full-width power; pass the group modulus")
+			}
+			if recv != nil {
+				delete(pendingMul, recv)
+			}
+		case sel.Sel.Name == "Mul" && len(call.Args) == 2:
+			if !isBigIntPtr(p.TypeOf(sel.X), true) {
+				return true
+			}
+			if recv == nil {
+				return true
+			}
+			if pendingMul[recv] {
+				p.Reportf(call.Pos(), "second big.Int.Mul on %s without an intervening modular reduction; reduce with Mod between multiplications", identName(sel.X))
+			}
+			pendingMul[recv] = true
+		case reducers[sel.Sel.Name]:
+			if recv != nil {
+				delete(pendingMul, recv)
+			}
+		}
+		return true
+	})
+}
+
+func identName(e ast.Expr) string {
+	if id, ok := e.(*ast.Ident); ok {
+		return id.Name
+	}
+	return "value"
+}

@@ -1,0 +1,91 @@
+package seclint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// Subtlecmp flags equality checks on secret material — keys, wrapped
+// keys, MACs/tags, digests — that short-circuit on the first differing
+// byte: bytes.Equal, == / != on fixed-size byte arrays, and
+// big.Int.Cmp used as equality. A mediator (or any network observer)
+// timing such comparisons learns prefix lengths of the secret; the
+// paper's model explicitly denies the mediator any plaintext- or
+// key-dependent signal, so these comparisons must go through
+// crypto/subtle.ConstantTimeCompare (see hybrid.KeyEqual).
+var Subtlecmp = &Analyzer{
+	Name: "subtlecmp",
+	Doc:  "variable-time equality (bytes.Equal, ==, big.Int.Cmp) on secret material",
+	Run:  runSubtlecmp,
+}
+
+func runSubtlecmp(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.CallExpr:
+				if p.pkgFunc(e, "bytes", "Equal") && len(e.Args) == 2 {
+					for _, arg := range e.Args {
+						if name, ok := secretIn(arg); ok {
+							p.Reportf(e.Pos(), "bytes.Equal on secret material %q is not constant time; use crypto/subtle.ConstantTimeCompare", name)
+							break
+						}
+					}
+				}
+			case *ast.BinaryExpr:
+				if e.Op != token.EQL && e.Op != token.NEQ {
+					return true
+				}
+				// [N]byte == [N]byte on secret-named operands.
+				if isByteArray(p.TypeOf(e.X)) || isByteArray(p.TypeOf(e.Y)) {
+					if name, ok := secretIn(e.X); ok {
+						p.Reportf(e.Pos(), "%s on byte-array secret %q is not constant time; use crypto/subtle.ConstantTimeCompare over slices", e.Op, name)
+					} else if name, ok := secretIn(e.Y); ok {
+						p.Reportf(e.Pos(), "%s on byte-array secret %q is not constant time; use crypto/subtle.ConstantTimeCompare over slices", e.Op, name)
+					}
+					return true
+				}
+				// x.Cmp(y) ==/!= 0 used as equality on secrets.
+				if call, lit := cmpAgainstZero(e); call != nil && lit {
+					sel := call.Fun.(*ast.SelectorExpr)
+					if !isBigIntPtr(p.TypeOf(sel.X), true) {
+						return true
+					}
+					if name, ok := secretIn(sel.X); ok {
+						p.Reportf(e.Pos(), "big.Int.Cmp equality on secret material %q is not constant time; compare fixed-width encodings with crypto/subtle.ConstantTimeCompare", name)
+					} else if name, ok := secretIn(call.Args[0]); ok {
+						p.Reportf(e.Pos(), "big.Int.Cmp equality on secret material %q is not constant time; compare fixed-width encodings with crypto/subtle.ConstantTimeCompare", name)
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// cmpAgainstZero matches `recv.Cmp(arg) <op> 0` (either operand order)
+// and returns the Cmp call when the other operand is the literal 0.
+func cmpAgainstZero(e *ast.BinaryExpr) (*ast.CallExpr, bool) {
+	match := func(callSide, litSide ast.Expr) (*ast.CallExpr, bool) {
+		call, ok := callSide.(*ast.CallExpr)
+		if !ok || len(call.Args) != 1 {
+			return nil, false
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Cmp" {
+			return nil, false
+		}
+		lit, ok := litSide.(*ast.BasicLit)
+		if !ok || lit.Value != "0" {
+			return nil, false
+		}
+		return call, true
+	}
+	if call, ok := match(e.X, e.Y); ok {
+		return call, true
+	}
+	if call, ok := match(e.Y, e.X); ok {
+		return call, true
+	}
+	return nil, false
+}

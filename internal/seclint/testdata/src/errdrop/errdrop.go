@@ -1,0 +1,43 @@
+// Package errdrop exercises the errdrop analyzer: discarded error
+// results in internal/ code. This fixture lives under internal/ (via
+// internal/seclint/testdata), so the directory scope fires naturally.
+package errdrop
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"os"
+)
+
+// Conn mimics the transport surface whose errors must not vanish.
+type Conn struct{}
+
+// Send delivers a message.
+func (Conn) Send(string) error { return nil }
+
+// Close tears the connection down.
+func (Conn) Close() error { return nil }
+
+// Drops loses errors three different ways.
+func Drops(c Conn) {
+	c.Send("abort")      // want "error result of c.Send dropped"
+	_ = c.Close()        // want "error result of c.Close discarded with _"
+	f, _ := os.Open("x") // want "error result of os.Open discarded with _"
+	if f != nil {
+		defer f.Close()
+	}
+}
+
+// Clean handles every error or uses an exempt sink.
+func Clean(c Conn) error {
+	if err := c.Send("ok"); err != nil {
+		return err
+	}
+	defer c.Close() // deferred teardown is exempt by design
+	h := sha256.New()
+	h.Write([]byte("x")) // hash.Hash writes never fail
+	var buf bytes.Buffer
+	buf.WriteString("y") // in-memory sink
+	_ = buf.Len()        // non-error result; blank assign is fine
+	return c.Close()
+}

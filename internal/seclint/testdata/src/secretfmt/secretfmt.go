@@ -1,0 +1,46 @@
+// Package secretfmt exercises the secretfmt analyzer: secret material
+// flowing into fmt/log rendering verbs or String().
+package secretfmt
+
+import (
+	"fmt"
+	"io"
+	"log"
+)
+
+// WrappedKey is an opaque wrapped session key.
+type WrappedKey []byte
+
+// String renders a placeholder, never the key bytes.
+func (WrappedKey) String() string { return "WrappedKey(opaque)" }
+
+// Errors builds diagnostics around a session key.
+func Errors(sessionKey []byte, rows int) error {
+	err := fmt.Errorf("unwrap failed for key %x", sessionKey) // want "formatted with %x"
+	log.Printf("bad mac: %v", sessionKey)                     // want "formatted with %v"
+	fmt.Printf("key type is %T\n", sessionKey)                // %T renders the type only
+	_ = fmt.Sprintf("matched %d rows", rows)                  // no secret argument
+	_ = fmt.Sprintf("key is %d bytes", len(sessionKey))       // len of a secret is public
+	return err
+}
+
+// Fprint exercises writer-first variants.
+func Fprint(w io.Writer, macTag []byte) {
+	fmt.Fprintf(w, "tag=%x\n", macTag) // want "formatted with %x"
+	fmt.Fprint(w, "done")              // no secret argument
+}
+
+// Print exercises Print-style variadic rendering.
+func Print(hmacKey []byte) {
+	fmt.Println("derived", hmacKey) // want "passed to fmt.Println"
+}
+
+// Render calls String() on a secret-named value.
+func Render(sessionKey WrappedKey) string {
+	return sessionKey.String() // want "called on secret material"
+}
+
+// RenderRow calls String() on a non-secret value; fine.
+func RenderRow(row WrappedKey) string {
+	return row.String()
+}

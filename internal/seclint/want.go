@@ -1,0 +1,115 @@
+package seclint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Expectation is one `// want "regexp"` annotation parsed from a test
+// fixture: a finding is expected on the annotated line whose message
+// matches the pattern.
+type Expectation struct {
+	File    string
+	Line    int
+	Pattern *regexp.Regexp
+}
+
+// ParseWants extracts `// want "re1" "re2"` expectation comments from
+// the package's files, one Expectation per quoted pattern. The format
+// mirrors the go/analysis analysistest convention.
+func ParseWants(fset *token.FileSet, files []*ast.File) ([]Expectation, error) {
+	var wants []Expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				idx := strings.Index(text, "want ")
+				if idx < 0 || strings.TrimSpace(text[:idx]) != "" {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				patterns, err := parseWantPatterns(strings.TrimSpace(text[idx+len("want "):]))
+				if err != nil {
+					return nil, fmt.Errorf("%s:%d: %v", pos.Filename, pos.Line, err)
+				}
+				for _, pat := range patterns {
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: bad want pattern: %v", pos.Filename, pos.Line, err)
+					}
+					wants = append(wants, Expectation{File: pos.Filename, Line: pos.Line, Pattern: re})
+				}
+			}
+		}
+	}
+	return wants, nil
+}
+
+// parseWantPatterns splits a want payload into its quoted patterns.
+func parseWantPatterns(s string) ([]string, error) {
+	var out []string
+	for s = strings.TrimSpace(s); s != ""; s = strings.TrimSpace(s) {
+		if s[0] != '"' {
+			return nil, fmt.Errorf("want pattern must be a quoted string, got %q", s)
+		}
+		end := 1
+		for end < len(s) {
+			if s[end] == '\\' {
+				end += 2
+				continue
+			}
+			if s[end] == '"' {
+				break
+			}
+			end++
+		}
+		if end >= len(s) {
+			return nil, fmt.Errorf("unterminated want pattern in %q", s)
+		}
+		pat, err := strconv.Unquote(s[:end+1])
+		if err != nil {
+			return nil, fmt.Errorf("bad want pattern %q: %v", s[:end+1], err)
+		}
+		out = append(out, pat)
+		s = s[end+1:]
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("want comment with no patterns")
+	}
+	return out, nil
+}
+
+// CheckWants compares findings against expectations, returning one
+// message per unmatched expectation and per unexpected finding. A
+// finding satisfies an expectation when file and line agree and the
+// pattern matches the message; each expectation consumes one finding.
+func CheckWants(findings []Finding, wants []Expectation) []string {
+	var problems []string
+	used := make([]bool, len(findings))
+	for _, w := range wants {
+		matched := false
+		for i, f := range findings {
+			if used[i] || f.File != w.File || f.Line != w.Line {
+				continue
+			}
+			if w.Pattern.MatchString(f.Message) {
+				used[i] = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			problems = append(problems, fmt.Sprintf("%s:%d: no finding matching %q", w.File, w.Line, w.Pattern))
+		}
+	}
+	for i, f := range findings {
+		if !used[i] {
+			problems = append(problems, fmt.Sprintf("unexpected finding: %s", f))
+		}
+	}
+	return problems
+}

@@ -1,0 +1,55 @@
+package seclint
+
+import (
+	"strings"
+)
+
+// protocolDirs are the module directories that implement the paper's
+// protocols or handle key material: any randomness consumed there must
+// come from crypto/rand (the mediator-as-adversary model collapses if a
+// protocol nonce, shuffle or key is predictable), and the quarantined
+// deterministic generator must be unreachable from them.
+var protocolDirs = []string{
+	"internal/crypto",
+	"internal/mediation",
+	"internal/pm",
+	"internal/das",
+	"internal/keyio",
+	"internal/transport",
+	"internal/credential",
+}
+
+// insecureRandSuffix identifies the module's quarantined deterministic
+// RNG package (internal/workload/insecurerand).
+const insecureRandSuffix = "internal/workload/insecurerand"
+
+// Weakrand flags math/rand imports in non-test code anywhere in the
+// module, and imports of the quarantined insecurerand package from
+// protocol-facing directories. The paper's security argument assumes
+// every protocol random value (DAS session keys, commutative exponents,
+// PM masking factors, shuffle permutations) is drawn from a CSPRNG.
+var Weakrand = &Analyzer{
+	Name: "weakrand",
+	Doc:  "math/rand (or the quarantined insecurerand package) reachable from non-test protocol code",
+	Run:  runWeakrand,
+}
+
+func runWeakrand(p *Pass) {
+	inProtocol := false
+	for _, d := range protocolDirs {
+		if p.InDir(d) {
+			inProtocol = true
+			break
+		}
+	}
+	for _, f := range p.Files {
+		for _, imp := range f.Imports {
+			switch path := importPathOf(imp); {
+			case path == "math/rand" || path == "math/rand/v2":
+				p.Reportf(imp.Pos(), "%s imported in non-test code: protocol randomness must come from crypto/rand; deterministic generators belong behind %s", path, insecureRandSuffix)
+			case strings.HasSuffix(path, insecureRandSuffix) && inProtocol:
+				p.Reportf(imp.Pos(), "insecure deterministic RNG %s imported from protocol package %s: nothing protocol-facing may reach it", path, p.Pkg.RelDir)
+			}
+		}
+	}
+}

@@ -1,0 +1,33 @@
+// Package insecurerand quarantines the module's only deterministic,
+// non-cryptographic random generator. Synthetic workload generation
+// (Section 6 experiments) needs reproducible streams keyed by a seed,
+// which crypto/rand cannot provide; everything protocol-facing must
+// keep using crypto/rand. The seclint weakrand analyzer enforces both
+// halves: math/rand may not be imported anywhere else in non-test
+// code, and this package may not be imported from protocol
+// directories. The single allowed import below is audited in the
+// module-root seclint.allow file.
+package insecurerand
+
+import (
+	"math/rand" // audited: see seclint.allow (weakrand)
+)
+
+// Source is a seeded deterministic generator. It embeds *rand.Rand, so
+// callers keep the full math/rand drawing surface (Intn, Float64, ...)
+// with bit-identical streams for a given seed.
+type Source struct {
+	*rand.Rand
+}
+
+// New returns a generator producing math/rand's exact sequence for
+// seed, keeping previously published workloads reproducible.
+func New(seed int64) *Source {
+	return &Source{Rand: rand.New(rand.NewSource(seed))}
+}
+
+// NewZipf returns a Zipf sampler (s > 1, v ≥ 1) over {0..imax} drawing
+// from this source.
+func (s *Source) NewZipf(exp, v float64, imax uint64) *rand.Zipf {
+	return rand.NewZipf(s.Rand, exp, v, imax)
+}

@@ -8,9 +8,9 @@ package workload
 
 import (
 	"fmt"
-	"math/rand"
 
 	"github.com/secmediation/secmediation/internal/relation"
+	"github.com/secmediation/secmediation/internal/workload/insecurerand"
 )
 
 // JoinSpec describes a two-relation equi-join workload.
@@ -62,7 +62,10 @@ func (s JoinSpec) Generate() (*relation.Relation, *relation.Relation, error) {
 	if err := s.Validate(); err != nil {
 		return nil, nil, err
 	}
-	rng := rand.New(rand.NewSource(s.Seed))
+	// Deterministic by design: experiments must be reproducible from
+	// Seed alone. The generator is quarantined in insecurerand so no
+	// protocol package can reach it (enforced by seclint's weakrand).
+	rng := insecurerand.New(s.Seed)
 
 	dom1 := make([]int64, s.Domain1)
 	for i := range dom1 {
@@ -89,7 +92,7 @@ func (s JoinSpec) Generate() (*relation.Relation, *relation.Relation, error) {
 	return r1, r2, nil
 }
 
-func (s JoinSpec) buildRelation(rng *rand.Rand, name string, dom []int64, rows int) (*relation.Relation, error) {
+func (s JoinSpec) buildRelation(rng *insecurerand.Source, name string, dom []int64, rows int) (*relation.Relation, error) {
 	cols := []relation.Column{{Name: "id", Kind: relation.KindInt}}
 	for c := 0; c < s.PayloadCols; c++ {
 		cols = append(cols, relation.Column{Name: fmt.Sprintf("p%d", c), Kind: relation.KindString})
@@ -104,7 +107,7 @@ func (s JoinSpec) buildRelation(rng *rand.Rand, name string, dom []int64, rows i
 	if s.Skew > 0 {
 		// rand.Zipf requires s > 1; map (0,1] onto (1, 2] for a gentle knob.
 		exp := 1 + s.Skew
-		z := rand.NewZipf(rng, exp, 1, uint64(len(dom)-1))
+		z := rng.NewZipf(exp, 1, uint64(len(dom)-1))
 		pick = func() int64 { return dom[z.Uint64()] }
 	}
 	// Guarantee every domain value appears at least once (so the active
@@ -138,7 +141,7 @@ func (s JoinSpec) buildRelation(rng *rand.Rand, name string, dom []int64, rows i
 	return rel, nil
 }
 
-func randomText(rng *rand.Rand, width int) string {
+func randomText(rng *insecurerand.Source, width int) string {
 	if width == 0 {
 		return ""
 	}
