@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet lint lint-json build test race bench parallel-report
+.PHONY: all vet lint lint-json build test race bench parallel-report telemetry-report
 
 all: vet lint build test race
 
@@ -23,10 +23,10 @@ build:
 test:
 	$(GO) test ./...
 
-# The parallel execution layer's safety gate: the mediation protocols and
-# the worker pool under the race detector.
+# The concurrency safety gate: the mediation protocols, the worker pool,
+# the telemetry registry and the transport stats under the race detector.
 race:
-	$(GO) test -race ./internal/mediation/... ./internal/parallel/...
+	$(GO) test -race ./internal/mediation/... ./internal/parallel/... ./internal/telemetry/... ./internal/transport/...
 
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x ./...
@@ -34,3 +34,8 @@ bench:
 # Regenerates BENCH_parallel.json (worker-pool + fixed-base speedups).
 parallel-report:
 	$(GO) run ./cmd/medbench -table parallel
+
+# Regenerates BENCH_phases.json (per-phase × per-party cost breakdown
+# from telemetry spans) and prints the human-readable table.
+telemetry-report:
+	$(GO) run ./cmd/medbench -table phases

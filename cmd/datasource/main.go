@@ -25,6 +25,7 @@ import (
 	"github.com/secmediation/secmediation/internal/keyio"
 	"github.com/secmediation/secmediation/internal/mediation"
 	"github.com/secmediation/secmediation/internal/relation"
+	"github.com/secmediation/secmediation/internal/telemetry"
 	"github.com/secmediation/secmediation/internal/transport"
 )
 
@@ -45,11 +46,17 @@ func main() {
 	flag.Var(&cas, "ca", "trusted CA public key PEM (repeatable)")
 	flag.Var(&rels, "relation", "relation as name=path.csv (repeatable)")
 	flag.Var(&requires, "require", "policy as relation:prop=value (repeatable; multiple for one relation AND together)")
+	telemetryAddr := flag.String("telemetry", "", "serve /metrics, /trace and /snapshot on this address (empty disables)")
 	flag.Parse()
 
 	src, err := buildSource(*name, cas, rels, requires)
 	if err != nil {
 		log.Fatalf("datasource: %v", err)
+	}
+	if *telemetryAddr != "" {
+		src.Telemetry = telemetry.NewRegistry()
+		telemetry.Serve(*telemetryAddr, src.Telemetry)
+		log.Printf("telemetry endpoints at http://%s/metrics", *telemetryAddr)
 	}
 	l, err := transport.Listen(*listen)
 	if err != nil {

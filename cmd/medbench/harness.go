@@ -10,6 +10,7 @@ import (
 	"github.com/secmediation/secmediation/internal/das"
 	"github.com/secmediation/secmediation/internal/leakage"
 	"github.com/secmediation/secmediation/internal/mediation"
+	"github.com/secmediation/secmediation/internal/telemetry"
 	"github.com/secmediation/secmediation/internal/workload"
 )
 
@@ -65,6 +66,12 @@ func (h *harness) params() mediation.Params {
 
 // run executes one instrumented query and returns the ledger.
 func (h *harness) run(proto mediation.Protocol, params mediation.Params) (*leakage.Ledger, error) {
+	return h.runWith(proto, params, nil)
+}
+
+// runWith executes one query with an optional telemetry registry shared
+// by all four parties (nil runs without telemetry, as before).
+func (h *harness) runWith(proto mediation.Protocol, params mediation.Params, reg *telemetry.Registry) (*leakage.Ledger, error) {
 	ledger := leakage.NewLedger()
 	r1, r2, err := h.spec.Generate()
 	if err != nil {
@@ -84,6 +91,10 @@ func (h *harness) run(proto mediation.Protocol, params mediation.Params) (*leaka
 	n, err := mediation.NewNetwork(h.client, &mediation.Mediator{Ledger: ledger}, s1, s2)
 	if err != nil {
 		return nil, err
+	}
+	if reg != nil {
+		n.SetTelemetry(reg)
+		defer n.SetTelemetry(nil) // h.client is shared across runs
 	}
 	got, err := n.Query("SELECT * FROM R1 JOIN R2 ON R1.id = R2.id", proto, params)
 	if err != nil {

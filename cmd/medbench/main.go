@@ -6,16 +6,21 @@
 //	medbench -table 3    Section 6 cost matrix (per-party compute, traffic, interactions)
 //	medbench -table 4    DAS partitioning trade-off (superset size vs partition count)
 //	medbench -table 5    extension ablations (selection pushdown, footnote modes, FNP buckets)
-//	medbench -table parallel  worker-pool + fixed-base speedup summary (writes -json file)
+//	medbench -table parallel  worker-pool + fixed-base speedup summary (writes BENCH_parallel.json)
+//	medbench -table phases    per-phase × per-party cost breakdown from telemetry spans
+//	                          (writes BENCH_phases.json)
 //	medbench -table all  everything
 //
 // Workload knobs: -rows, -domain, -overlap, -groupbits, -paillier.
-// -json sets the output path of the parallel speedup summary.
+// -json overrides the output path of the machine-readable summaries;
+// "-" prints the JSON to stdout instead of the human table, "" keeps the
+// per-table default (BENCH_parallel.json / BENCH_phases.json).
 // Every number is measured from an instrumented in-process run of the real
 // protocols; nothing is hard-coded.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -26,14 +31,14 @@ import (
 )
 
 func main() {
-	table := flag.String("table", "all", "which table to regenerate: 1|2|3|4|all")
+	table := flag.String("table", "all", "which table to regenerate: 1|2|3|4|5|parallel|phases|all")
 	rows := flag.Int("rows", 200, "tuples per relation")
 	domain := flag.Int("domain", 50, "active-domain size of the join attribute")
 	overlap := flag.Float64("overlap", 0.5, "fraction of shared join values")
 	skew := flag.Float64("skew", 0, "Zipf skew of join-key multiplicities (0 = uniform)")
 	groupBits := flag.Int("groupbits", 1536, "commutative group size")
 	paillierBits := flag.Int("paillier", 1024, "Paillier modulus size")
-	jsonOut := flag.String("json", "BENCH_parallel.json", "output path for the -table parallel summary (empty disables)")
+	jsonOut := flag.String("json", "", `machine-readable output path ("" = per-table default, "-" = stdout JSON only)`)
 	flag.Parse()
 
 	h, err := newHarness(*rows, *domain, *overlap, *skew, *groupBits, *paillierBits)
@@ -57,10 +62,13 @@ func main() {
 	case "5":
 		err = h.table5()
 	case "parallel":
-		err = h.tableParallel(*jsonOut)
+		err = h.tableParallel(orDefault(*jsonOut, "BENCH_parallel.json"))
+	case "phases":
+		err = h.tablePhases(orDefault(*jsonOut, "BENCH_phases.json"))
 	case "all":
-		parallelTable := func() error { return h.tableParallel(*jsonOut) }
-		for _, f := range []func() error{h.table1, h.table2, h.table3, h.table4, h.table5, parallelTable} {
+		parallelTable := func() error { return h.tableParallel(orDefault(*jsonOut, "BENCH_parallel.json")) }
+		phasesTable := func() error { return h.tablePhases(orDefault(*jsonOut, "BENCH_phases.json")) }
+		for _, f := range []func() error{h.table1, h.table2, h.table3, h.table4, h.table5, parallelTable, phasesTable} {
 			if err = f(); err != nil {
 				break
 			}
@@ -111,6 +119,36 @@ func printAligned(rows [][]string) {
 	}
 	fmt.Fprint(os.Stdout, b.String())
 	fmt.Println()
+}
+
+// orDefault resolves the -json flag against a table's default path.
+func orDefault(v, def string) string {
+	if v == "" {
+		return def
+	}
+	return v
+}
+
+// writeReport writes a machine-readable summary as indented JSON: to
+// stdout when path is "-", to the named file otherwise ("" skips).
+func writeReport(path string, v any) error {
+	if path == "" {
+		return nil
+	}
+	blob, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	blob = append(blob, '\n')
+	if path == "-" {
+		_, err := os.Stdout.Write(blob)
+		return err
+	}
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
 }
 
 func sortedKeys(m map[string]int64) []string {

@@ -2,10 +2,8 @@ package main
 
 import (
 	"crypto/rand"
-	"encoding/json"
 	"fmt"
 	"math/big"
-	"os"
 	"runtime"
 	"time"
 
@@ -96,18 +94,7 @@ func (h *harness) tableParallel(jsonPath string) error {
 		pail.Speedup,
 		time.Duration(pail.PrecomputeNs).Round(time.Millisecond))
 
-	if jsonPath == "" {
-		return nil
-	}
-	blob, err := json.MarshalIndent(report, "", "  ")
-	if err != nil {
-		return err
-	}
-	if err := os.WriteFile(jsonPath, append(blob, '\n'), 0o644); err != nil {
-		return err
-	}
-	fmt.Printf("wrote %s\n", jsonPath)
-	return nil
+	return writeReport(jsonPath, report)
 }
 
 // medianWall runs the query n times and returns the median wall time.

@@ -1,0 +1,152 @@
+package main
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"github.com/secmediation/secmediation/internal/mediation"
+	"github.com/secmediation/secmediation/internal/telemetry"
+)
+
+// phaseCell is one (party, phase) aggregate of a protocol run.
+type phaseCell struct {
+	Party   string `json:"party"`
+	Phase   string `json:"phase"`
+	TotalNs int64  `json:"total_ns"`
+	Spans   int    `json:"spans"`
+}
+
+// protocolPhases is the per-protocol slice of the phases report.
+type protocolPhases struct {
+	Protocol string           `json:"protocol"`
+	WallNs   int64            `json:"wall_ns"`
+	Phases   []phaseCell      `json:"phases"`
+	Ops      map[string]int64 `json:"crypto_ops,omitempty"`
+}
+
+// phasesReport is the BENCH_phases.json schema, shared with the -json
+// stdout mode.
+type phasesReport struct {
+	Cores     int              `json:"cores"`
+	GOOS      string           `json:"goos"`
+	GOARCH    string           `json:"goarch"`
+	Rows      int              `json:"rows_per_relation"`
+	Domain    int              `json:"active_domain"`
+	Protocols []protocolPhases `json:"protocols"`
+}
+
+// phaseParties and phaseOrder fix the table layout; phases a run emits
+// beyond the taxonomy are appended in first-seen order.
+var (
+	phaseParties = []string{"client", "mediator", "source:S1", "source:S2"}
+	phaseOrder   = []string{
+		telemetry.PhaseQuerying,
+		telemetry.PhaseTranslate,
+		telemetry.PhaseSourceEncrypt,
+		telemetry.PhaseCrossEncrypt,
+		telemetry.PhaseMatch,
+		telemetry.PhasePostFilter,
+	}
+)
+
+// tablePhases runs all five protocols with a shared-registry telemetry
+// run each and prints the per-phase × per-party cost table; the
+// machine-readable report goes to jsonPath ("-" prints JSON instead of
+// the table, "" skips the file).
+func (h *harness) tablePhases(jsonPath string) error {
+	report := phasesReport{Cores: runtime.NumCPU(), GOOS: runtime.GOOS, GOARCH: runtime.GOARCH,
+		Rows: h.spec.Rows1, Domain: h.spec.Domain1}
+	protos := append([]mediation.Protocol{mediation.ProtocolPlaintext, mediation.ProtocolMobileCode}, secureProtocols...)
+	for _, proto := range protos {
+		reg := telemetry.NewRegistry()
+		start := time.Now()
+		if _, err := h.runWith(proto, h.params(), reg); err != nil {
+			return err
+		}
+		wall := time.Since(start)
+		pp := protocolPhases{Protocol: proto.String(), WallNs: wall.Nanoseconds(), Ops: reg.OpDeltas()}
+		for _, phase := range phasesSeen(reg) {
+			for _, party := range phaseParties {
+				total, n := reg.PhaseTotal(party, phase)
+				if n == 0 {
+					continue
+				}
+				pp.Phases = append(pp.Phases, phaseCell{Party: party, Phase: phase,
+					TotalNs: total.Nanoseconds(), Spans: n})
+			}
+		}
+		report.Protocols = append(report.Protocols, pp)
+	}
+	if jsonPath != "-" {
+		fmt.Println("Per-phase × per-party cost breakdown (measured)")
+		printPhases(report)
+	}
+	return writeReport(jsonPath, report)
+}
+
+// phasesSeen returns the taxonomy phases plus any extra span names the
+// run produced (session roots excluded), in stable order.
+func phasesSeen(reg *telemetry.Registry) []string {
+	out := append([]string(nil), phaseOrder...)
+	known := map[string]bool{"session": true}
+	for _, p := range out {
+		known[p] = true
+	}
+	for _, sp := range reg.Spans() {
+		if !known[sp.Name] {
+			known[sp.Name] = true
+			out = append(out, sp.Name)
+		}
+	}
+	return out
+}
+
+// printPhases renders the report: one party-columned matrix per
+// protocol, plus its crypto-operation deltas.
+func printPhases(report phasesReport) {
+	for _, pp := range report.Protocols {
+		fmt.Printf("%s (wall %s)\n", pp.Protocol,
+			time.Duration(pp.WallNs).Round(time.Millisecond))
+		cells := map[[2]string]phaseCell{}
+		var phases []string
+		seen := map[string]bool{}
+		for _, c := range pp.Phases {
+			cells[[2]string{c.Party, c.Phase}] = c
+			if !seen[c.Phase] {
+				seen[c.Phase] = true
+				phases = append(phases, c.Phase)
+			}
+		}
+		if len(phases) == 0 {
+			fmt.Println("  (no phases recorded)")
+			continue
+		}
+		rows := [][]string{append([]string{"phase"}, phaseParties...)}
+		for _, phase := range phases {
+			row := []string{phase}
+			for _, party := range phaseParties {
+				c, ok := cells[[2]string{party, phase}]
+				if !ok {
+					row = append(row, "-")
+					continue
+				}
+				cell := time.Duration(c.TotalNs).Round(time.Microsecond).String()
+				if c.Spans > 1 {
+					cell += fmt.Sprintf(" (%d spans)", c.Spans)
+				}
+				row = append(row, cell)
+			}
+			rows = append(rows, row)
+		}
+		printAligned(rows)
+		if len(pp.Ops) > 0 {
+			line := "crypto ops:"
+			for _, name := range sortedKeys(pp.Ops) {
+				line += fmt.Sprintf(" %s=%d", name, pp.Ops[name])
+			}
+			fmt.Println(line)
+			fmt.Println()
+		}
+	}
+}

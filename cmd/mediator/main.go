@@ -23,6 +23,7 @@ import (
 
 	"github.com/secmediation/secmediation/internal/mediation"
 	"github.com/secmediation/secmediation/internal/relation"
+	"github.com/secmediation/secmediation/internal/telemetry"
 	"github.com/secmediation/secmediation/internal/transport"
 )
 
@@ -40,11 +41,17 @@ func main() {
 	var routes, hints stringList
 	flag.Var(&routes, "route", `relation route as "Rel=host:port;col:TYPE,col:TYPE" (repeatable)`)
 	flag.Var(&hints, "hint", "credential hint as Rel=propertyName (repeatable)")
+	telemetryAddr := flag.String("telemetry", "", "serve /metrics, /trace and /snapshot on this address (empty disables)")
 	flag.Parse()
 
 	med, err := buildMediator(routes, hints)
 	if err != nil {
 		log.Fatalf("mediator: %v", err)
+	}
+	if *telemetryAddr != "" {
+		med.Telemetry = telemetry.NewRegistry()
+		telemetry.Serve(*telemetryAddr, med.Telemetry)
+		log.Printf("telemetry endpoints at http://%s/metrics", *telemetryAddr)
 	}
 	l, err := transport.Listen(*listen)
 	if err != nil {

@@ -13,6 +13,7 @@ import (
 	"github.com/secmediation/secmediation/internal/leakage"
 	"github.com/secmediation/secmediation/internal/mediation"
 	"github.com/secmediation/secmediation/internal/relation"
+	"github.com/secmediation/secmediation/internal/telemetry"
 
 	"crypto/rsa"
 )
@@ -22,6 +23,9 @@ type demo struct {
 	client *mediation.Client
 	ca     *credential.Authority
 	s1, s2 *mediation.Source
+	// telemetry, when non-nil, accumulates spans and metrics across every
+	// query the demo runs and is exported on /metrics and /trace.
+	telemetry *telemetry.Registry
 }
 
 // newDemo builds the CA, the credentialed client, and two datasources with
@@ -85,6 +89,7 @@ func (d *demo) runQuery(sql string, proto mediation.Protocol) (*relation.Relatio
 	if err != nil {
 		return nil, nil, 0, err
 	}
+	net.SetTelemetry(d.telemetry)
 	params := mediation.Params{Partitions: 4, Strategy: das.EquiDepth,
 		GroupBits: 1536, PaillierBits: 1024, PayloadMode: mediation.PayloadHybrid}
 	start := time.Now()
@@ -149,9 +154,17 @@ type pageData struct {
 	Leaks     []leakRow
 }
 
-// handler builds the HTTP mux.
+// handler builds the HTTP mux. When the demo carries a telemetry
+// registry, the observability endpoints (/metrics, /trace, /snapshot)
+// are mounted next to the query form.
 func (d *demo) handler() http.Handler {
 	mux := http.NewServeMux()
+	if d.telemetry.Enabled() {
+		tel := telemetry.Handler(d.telemetry)
+		mux.Handle("/metrics", tel)
+		mux.Handle("/trace", tel)
+		mux.Handle("/snapshot", tel)
+	}
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
 			http.NotFound(w, r)

@@ -6,21 +6,28 @@
 // against it, rendering the global result next to everything the mediator
 // could observe.
 //
-//	webdemo -listen :8080
+//	webdemo -listen :8080 [-telemetry]
 package main
 
 import (
 	"flag"
 	"log"
 	"net/http"
+
+	"github.com/secmediation/secmediation/internal/telemetry"
 )
 
 func main() {
 	listen := flag.String("listen", ":8080", "HTTP listen address")
+	withTelemetry := flag.Bool("telemetry", false, "mount /metrics, /trace and /snapshot on the demo port")
 	flag.Parse()
 	demo, err := newDemo()
 	if err != nil {
 		log.Fatalf("webdemo: %v", err)
+	}
+	if *withTelemetry {
+		demo.telemetry = telemetry.NewRegistry()
+		log.Printf("webdemo: telemetry at http://localhost%s/metrics", *listen)
 	}
 	log.Printf("webdemo: serving on %s", *listen)
 	log.Fatal(http.ListenAndServe(*listen, demo.handler()))

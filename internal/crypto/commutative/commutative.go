@@ -73,6 +73,7 @@ func (k *Key) Group() *groups.Group { return k.group }
 // cost — callers whose inputs are group elements by construction should
 // use EncryptUnchecked instead.
 func (k *Key) Encrypt(x *big.Int) (*big.Int, error) {
+	opExp.Add(1) // the membership test is a full exponentiation
 	if !k.group.IsQuadraticResidue(x) {
 		return nil, fmt.Errorf("commutative: input not in QR(p)")
 	}
@@ -94,6 +95,7 @@ func (k *Key) Encrypt(x *big.Int) (*big.Int, error) {
 //   - Our own ciphertexts are elements of QR(p) because f_e maps the
 //     subgroup onto itself, so re-encryption layers may skip it too.
 func (k *Key) EncryptUnchecked(x *big.Int) *big.Int {
+	opExp.Add(1)
 	return new(big.Int).Exp(x, k.e, k.group.P)
 }
 
@@ -126,6 +128,7 @@ func (k *Key) ReEncrypt(c *big.Int) (*big.Int, error) {
 
 // Decrypt computes f_e⁻¹(y) = y^d mod p.
 func (k *Key) Decrypt(y *big.Int) (*big.Int, error) {
+	opExp.Add(2) // membership test + inversion exponentiation
 	if !k.group.IsQuadraticResidue(y) {
 		return nil, fmt.Errorf("commutative: ciphertext not in QR(p)")
 	}

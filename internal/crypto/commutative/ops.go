@@ -1,0 +1,8 @@
+package commutative
+
+import "github.com/secmediation/secmediation/internal/telemetry"
+
+// opExp counts full modular exponentiations in the group — the unit the
+// paper's cost model charges the commutative protocol in. Membership
+// tests (x^q mod p) count like encryptions because they cost the same.
+var opExp = telemetry.CryptoOp("commutative.exp")

@@ -135,6 +135,7 @@ func unwrapSessionKey(priv *rsa.PrivateKey, wrappedKey []byte) ([]byte, error) {
 	if len(key) != sessionKeyLen {
 		return nil, fmt.Errorf("hybrid: unwrapped session key has %d bytes, want %d", len(key), sessionKeyLen)
 	}
+	opUnwrap.Add(1)
 	return key, nil
 }
 
@@ -155,6 +156,7 @@ func NewSession(pub *rsa.PublicKey) (*Session, error) {
 	if err != nil {
 		return nil, fmt.Errorf("hybrid: wrap session key: %w", err)
 	}
+	opWrap.Add(1)
 	return &Session{key: key, wrapped: wrapped}, nil
 }
 
@@ -205,6 +207,7 @@ func seal(key, plaintext, aad []byte) (nonce, sealed []byte, err error) {
 	if _, err := rand.Read(nonce); err != nil {
 		return nil, nil, fmt.Errorf("hybrid: nonce: %w", err)
 	}
+	opSeal.Add(1)
 	return nonce, gcm.Seal(nil, nonce, plaintext, aad), nil
 }
 
@@ -224,6 +227,7 @@ func open(key, nonce, sealed, aad []byte) ([]byte, error) {
 	if err != nil {
 		return nil, fmt.Errorf("hybrid: open: %w", err)
 	}
+	opOpen.Add(1)
 	return pt, nil
 }
 

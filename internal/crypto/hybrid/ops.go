@@ -1,0 +1,12 @@
+package hybrid
+
+import "github.com/secmediation/secmediation/internal/telemetry"
+
+// Process-wide operation counters (telemetry.OpTotals): RSA session-key
+// wraps/unwraps and AES-GCM seals/opens.
+var (
+	opWrap   = telemetry.CryptoOp("hybrid.wrap")
+	opUnwrap = telemetry.CryptoOp("hybrid.unwrap")
+	opSeal   = telemetry.CryptoOp("hybrid.seal")
+	opOpen   = telemetry.CryptoOp("hybrid.open")
+)

@@ -1,0 +1,7 @@
+package oracle
+
+import "github.com/secmediation/secmediation/internal/telemetry"
+
+// opHash counts ideal-hash evaluations h(a) — one per value hashed into
+// QR(p), regardless of how many SHA-256 blocks the expansion needed.
+var opHash = telemetry.CryptoOp("oracle.hash")

@@ -39,6 +39,7 @@ func (o *Oracle) Group() *groups.Group { return o.group }
 
 // HashBytes maps an arbitrary byte string into QR(p).
 func (o *Oracle) HashBytes(data []byte) *big.Int {
+	opHash.Add(1)
 	pMinus1 := new(big.Int).Sub(o.group.P, big.NewInt(1))
 	// Expand enough SHA-256 blocks to cover the modulus size plus a 64-bit
 	// slack so the mod bias is negligible, then reduce into [2, p-1].

@@ -1,0 +1,11 @@
+package paillier
+
+import "github.com/secmediation/secmediation/internal/telemetry"
+
+// Process-wide operation counters (telemetry.OpTotals). A bump is one
+// atomic add against the ~ms-scale modular arithmetic it counts, so the
+// counters stay always-on.
+var (
+	opEncrypt = telemetry.CryptoOp("paillier.encrypt")
+	opDecrypt = telemetry.CryptoOp("paillier.decrypt")
+)

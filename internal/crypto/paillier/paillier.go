@@ -260,6 +260,7 @@ func (pk *PublicKey) Encrypt(rnd io.Reader, m *big.Int) (*Ciphertext, error) {
 	if err != nil {
 		return nil, err
 	}
+	opEncrypt.Add(1)
 	// c = (1 + m·n) · r^n mod n²
 	c := new(big.Int).Mul(m, pk.N)
 	c.Add(c, one)
@@ -291,6 +292,7 @@ func (sk *PrivateKey) Decrypt(c *Ciphertext) (*big.Int, error) {
 	if err := sk.checkCiphertext(c); err != nil {
 		return nil, err
 	}
+	opDecrypt.Add(1)
 	if sk.p == nil {
 		return sk.decryptLambda(c), nil
 	}

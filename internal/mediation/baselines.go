@@ -7,6 +7,7 @@ import (
 	"github.com/secmediation/secmediation/internal/crypto/hybrid"
 	"github.com/secmediation/secmediation/internal/leakage"
 	"github.com/secmediation/secmediation/internal/relation"
+	"github.com/secmediation/secmediation/internal/telemetry"
 	"github.com/secmediation/secmediation/internal/transport"
 )
 
@@ -31,7 +32,7 @@ func (m *Mediator) mediatePlaintext(client, s1, s2 transport.Conn, d *decomposit
 		return err
 	}
 	var joined *relation.Relation
-	err := watch.track(func() error {
+	err := watch.phase(telemetry.PhaseMatch, func() error {
 		r1, err := fromWire(w1)
 		if err != nil {
 			return err
@@ -80,7 +81,7 @@ type mcResult struct {
 
 func (s *Source) serveMobileCode(conn transport.Conn, pq *PartialQuery, rel *relation.Relation, clientKey *rsa.PublicKey, watch *stopwatch) error {
 	var out mcPartial
-	err := watch.track(func() error {
+	err := watch.phase(telemetry.PhaseSourceEncrypt, func() error {
 		sess, err := hybrid.NewSession(clientKey)
 		if err != nil {
 			return err
@@ -127,7 +128,7 @@ func (c *Client) runMobileCode(conn transport.Conn, watch *stopwatch) (*relation
 		return nil, relation.Schema{}, nil, err
 	}
 	var joined *relation.Relation
-	err := watch.track(func() error {
+	err := watch.phase(telemetry.PhasePostFilter, func() error {
 		r1, err := c.openMCPartial(res.Body.P1, res.Session)
 		if err != nil {
 			return err

@@ -12,6 +12,7 @@ import (
 	"github.com/secmediation/secmediation/internal/leakage"
 	"github.com/secmediation/secmediation/internal/relation"
 	"github.com/secmediation/secmediation/internal/sqlparse"
+	"github.com/secmediation/secmediation/internal/telemetry"
 	"github.com/secmediation/secmediation/internal/transport"
 )
 
@@ -27,6 +28,9 @@ type Client struct {
 	Credentials credential.Set
 	// Ledger optionally records leakage and primitive usage.
 	Ledger *leakage.Ledger
+	// Telemetry optionally records phase spans and traffic metrics for
+	// this party. Params.Telemetry overrides it per query.
+	Telemetry *telemetry.Registry
 
 	// homKey caches the Paillier key pair for PM queries; homMu guards it
 	// so concurrent sessions share one key generation.
@@ -86,7 +90,11 @@ func (c *Client) Query(conn transport.Conn, sql string, proto Protocol, params P
 	if q.UnionWith != "" {
 		return c.runUnion(conn, q)
 	}
+	root := c.telemetry(params).Tracer(leakage.PartyClient).Start("session")
+	root.Annotate("protocol", proto.String())
+	defer root.End()
 	watch := newStopwatch(c.Ledger, leakage.PartyClient)
+	watch.attach(root)
 	var joined *relation.Relation
 	var schema2 relation.Schema
 	var joinCols2 []string
@@ -107,11 +115,21 @@ func (c *Client) Query(conn transport.Conn, sql string, proto Protocol, params P
 	if err != nil {
 		return nil, err
 	}
-	c.recordTraffic(conn)
+	c.recordTraffic(conn, c.telemetry(params))
 	return postProcess(q, joined, schema2, joinCols2)
 }
 
-func (c *Client) recordTraffic(conn transport.Conn) {
+// telemetry resolves the registry for one query: the per-query override
+// in params wins over the client's own.
+func (c *Client) telemetry(params Params) *telemetry.Registry {
+	if params.Telemetry.Enabled() {
+		return params.Telemetry
+	}
+	return c.Telemetry
+}
+
+func (c *Client) recordTraffic(conn transport.Conn, reg *telemetry.Registry) {
+	trafficGauges(reg, leakage.PartyClient, "mediator", conn.Stats())
 	if c.Ledger == nil {
 		return
 	}

@@ -13,6 +13,7 @@ import (
 	"github.com/secmediation/secmediation/internal/leakage"
 	"github.com/secmediation/secmediation/internal/parallel"
 	"github.com/secmediation/secmediation/internal/relation"
+	"github.com/secmediation/secmediation/internal/telemetry"
 	"github.com/secmediation/secmediation/internal/transport"
 )
 
@@ -69,7 +70,7 @@ func (s *Source) serveCommutative(conn transport.Conn, pq *PartialQuery, rel *re
 	}
 	var offer commOffer
 	var key *commutative.Key
-	err = watch.track(func() error {
+	err = watch.phase(telemetry.PhaseSourceEncrypt, func() error {
 		key, err = commutative.GenerateKey(group, rand.Reader)
 		if err != nil {
 			return err
@@ -126,7 +127,7 @@ func (s *Source) serveCommutative(conn transport.Conn, pq *PartialQuery, rel *re
 		return err
 	}
 	var back commCross
-	err = watch.track(func() error {
+	err = watch.phase(telemetry.PhaseCrossEncrypt, func() error {
 		// Both sources learn the opposite active-domain size (Section 6).
 		s.Ledger.Observe(s.party(), "|domactive(opposite)|", int64(len(cross.Items)))
 		var err error
@@ -196,7 +197,7 @@ func (m *Mediator) mediateCommutative(client, s1, s2 transport.Conn, d *decompos
 		JoinCols1: d.joinCols1, JoinCols2: d.joinCols2,
 		Wrapped1: o1.WrappedKey, Wrapped2: o2.WrappedKey,
 	}
-	err := watch.track(func() error {
+	err := watch.phase(telemetry.PhaseMatch, func() error {
 		// Rendering a 2048-bit hash to a map key is the mediator's only
 		// per-item cost; fan the conversions out, then build and probe
 		// the match map sequentially.
@@ -258,7 +259,7 @@ func (c *Client) runCommutative(conn transport.Conn, params Params, watch *stopw
 		return nil, relation.Schema{}, nil, err
 	}
 	var joined *relation.Relation
-	err := watch.track(func() error {
+	err := watch.phase(telemetry.PhasePostFilter, func() error {
 		recv1, err := hybrid.NewReceiver(c.PrivateKey, res.Wrapped1)
 		if err != nil {
 			return err

@@ -9,6 +9,7 @@ import (
 	"github.com/secmediation/secmediation/internal/leakage"
 	"github.com/secmediation/secmediation/internal/relation"
 	"github.com/secmediation/secmediation/internal/sqlparse"
+	"github.com/secmediation/secmediation/internal/telemetry"
 	"github.com/secmediation/secmediation/internal/transport"
 )
 
@@ -55,7 +56,7 @@ type dasResult struct {
 func (s *Source) serveDAS(conn transport.Conn, pq *PartialQuery, rel *relation.Relation, clientKey *rsa.PublicKey, watch *stopwatch) error {
 	indexedCols := append(append([]string(nil), pq.JoinCols...), pq.FilterCols...)
 	var out dasPartial
-	err := watch.track(func() error {
+	err := watch.phase(telemetry.PhaseSourceEncrypt, func() error {
 		its := make([]*das.IndexTable, len(indexedCols))
 		for i, col := range indexedCols {
 			dom, err := rel.ActiveDomain(col)
@@ -136,7 +137,7 @@ func (m *Mediator) mediateDAS(client, s1, s2 transport.Conn, d *decomposition, w
 		m.Ledger.Observe(leakage.PartyMediator, "pushdown-filters", int64(n))
 	}
 	var res *das.ServerResult
-	err := watch.track(func() error {
+	err := watch.phase(telemetry.PhaseMatch, func() error {
 		var err error
 		res, err = das.ExecuteServerQuery(&p1.EncRel, &p2.EncRel, sq.Query)
 		return err
@@ -161,7 +162,7 @@ func (c *Client) runDAS(conn transport.Conn, q *sqlparse.Query, params Params, w
 	var recv1, recv2 *hybrid.Receiver
 	var tables1, tables2 []*das.IndexTable
 	var sq das.ServerQuery
-	err := watch.track(func() error {
+	err := watch.phase(telemetry.PhaseTranslate, func() error {
 		var err error
 		recv1, err = hybrid.NewReceiver(c.PrivateKey, its.Wrapped1)
 		if err != nil {
@@ -212,7 +213,7 @@ func (c *Client) runDAS(conn transport.Conn, q *sqlparse.Query, params Params, w
 		return nil, relation.Schema{}, nil, err
 	}
 	var joined *relation.Relation
-	err = watch.track(func() error {
+	err = watch.phase(telemetry.PhasePostFilter, func() error {
 		var discarded int
 		var err error
 		joined, discarded, err = das.DecryptServerResult(&res.Result, recv1, recv2,

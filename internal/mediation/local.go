@@ -9,6 +9,7 @@ import (
 	"github.com/secmediation/secmediation/internal/credential"
 	"github.com/secmediation/secmediation/internal/relation"
 	"github.com/secmediation/secmediation/internal/sqlparse"
+	"github.com/secmediation/secmediation/internal/telemetry"
 	"github.com/secmediation/secmediation/internal/transport"
 )
 
@@ -111,6 +112,18 @@ func closeJoin(c transport.Conn, err error) error {
 		return fmt.Errorf("mediation: closing session connection: %w", cerr)
 	}
 	return nil
+}
+
+// SetTelemetry points every party of the network at one registry, so a
+// run produces a single cross-party span tree (registries are process-
+// local and never cross transport links; in-process all parties can
+// share one). Pass nil to disable.
+func (n *Network) SetTelemetry(reg *telemetry.Registry) {
+	n.Client.Telemetry = reg
+	n.Mediator.Telemetry = reg
+	for _, src := range n.Sources {
+		src.Telemetry = reg
+	}
 }
 
 // SourceErrors drains errors raised by source handler goroutines; useful

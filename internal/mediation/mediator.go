@@ -9,6 +9,7 @@ import (
 	"github.com/secmediation/secmediation/internal/leakage"
 	"github.com/secmediation/secmediation/internal/relation"
 	"github.com/secmediation/secmediation/internal/sqlparse"
+	"github.com/secmediation/secmediation/internal/telemetry"
 	"github.com/secmediation/secmediation/internal/transport"
 )
 
@@ -33,6 +34,9 @@ type Mediator struct {
 	CredHints map[string][]string
 	// Ledger optionally records leakage, primitive usage and traffic.
 	Ledger *leakage.Ledger
+	// Telemetry optionally records phase spans and traffic metrics for
+	// this party.
+	Telemetry *telemetry.Registry
 }
 
 // HandleSession serves one client session end-to-end. It is the
@@ -63,6 +67,24 @@ func (m *Mediator) handleSession(client transport.Conn) error {
 			return m.handleUnion(client, &req, q)
 		}
 	}
+
+	root := m.Telemetry.Tracer(leakage.PartyMediator).Start("session")
+	root.Annotate("protocol", req.Protocol.String())
+	defer root.End()
+
+	// Listing 1, steps 2–3 are the querying phase: decompose, localize,
+	// ship partial queries, collect authorization acks. The span is ended
+	// exactly once — at the phase boundary, or at whatever earlier point
+	// an error aborts the session.
+	querying := root.Start(telemetry.PhaseQuerying)
+	queryingEnded := false
+	endQuerying := func() {
+		if !queryingEnded {
+			queryingEnded = true
+			querying.End()
+		}
+	}
+	defer endQuerying()
 
 	// Listing 1, step 2: decompose and localize.
 	d, err := decompose(req.SQL, m.Schemas)
@@ -131,8 +153,10 @@ func (m *Mediator) handleSession(client transport.Conn) error {
 		return fmt.Errorf("mediation: access to %s denied: %s", d.rel2, ack2.Reason)
 	}
 	d.schema1, d.schema2 = ack1.Schema, ack2.Schema
+	endQuerying()
 
 	watch := newStopwatch(m.Ledger, leakage.PartyMediator)
+	watch.attach(root)
 	switch req.Protocol {
 	case ProtocolPlaintext:
 		err = m.mediatePlaintext(client, conn1, conn2, d, watch)
@@ -154,6 +178,9 @@ func (m *Mediator) handleSession(client transport.Conn) error {
 		return err
 	}
 	m.recordTraffic(client, conn1, conn2)
+	trafficGauges(m.Telemetry, leakage.PartyMediator, "client", client.Stats())
+	trafficGauges(m.Telemetry, leakage.PartyMediator, "source:"+d.rel1, conn1.Stats())
+	trafficGauges(m.Telemetry, leakage.PartyMediator, "source:"+d.rel2, conn2.Stats())
 	return nil
 }
 

@@ -11,6 +11,7 @@ import (
 	"github.com/secmediation/secmediation/internal/parallel"
 	"github.com/secmediation/secmediation/internal/pm"
 	"github.com/secmediation/secmediation/internal/relation"
+	"github.com/secmediation/secmediation/internal/telemetry"
 	"github.com/secmediation/secmediation/internal/transport"
 )
 
@@ -80,7 +81,7 @@ func (s *Source) servePM(conn transport.Conn, pq *PartialQuery, rel *relation.Re
 		roots[i] = pm.RootOfBytes(relation.EncodeValues(g.Key, nil))
 	}
 	var coeffs pmCoeffs
-	err = watch.track(func() error {
+	err = watch.phase(telemetry.PhaseSourceEncrypt, func() error {
 		buckets, err := pm.BuildBuckets(roots, pq.Params.Buckets, pk.N)
 		if err != nil {
 			return err
@@ -106,7 +107,7 @@ func (s *Source) servePM(conn transport.Conn, pq *PartialQuery, rel *relation.Re
 		return err
 	}
 	var evals pmEvals
-	err = watch.track(func() error {
+	err = watch.phase(telemetry.PhaseCrossEncrypt, func() error {
 		// Section 6: each source learns the opposite polynomial degree(s),
 		// i.e. the opposite active-domain size.
 		oppDegree := int64(0)
@@ -242,7 +243,7 @@ func (c *Client) runPM(conn transport.Conn, params Params, watch *stopwatch) (*r
 		return nil, relation.Schema{}, nil, err
 	}
 	var joined *relation.Relation
-	err = watch.track(func() error {
+	err = watch.phase(telemetry.PhasePostFilter, func() error {
 		// Table 1: the client receives encrypted values of both partial
 		// results (n+m of them) but can open only the matching ones.
 		c.Ledger.Observe(leakage.PartyClient, "encrypted-values-received", int64(len(res.Evals1)+len(res.Evals2)))

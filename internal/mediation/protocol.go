@@ -28,6 +28,7 @@ import (
 	"github.com/secmediation/secmediation/internal/crypto/groups"
 	"github.com/secmediation/secmediation/internal/das"
 	"github.com/secmediation/secmediation/internal/leakage"
+	"github.com/secmediation/secmediation/internal/telemetry"
 	"github.com/secmediation/secmediation/internal/transport"
 )
 
@@ -124,6 +125,13 @@ type Params struct {
 	// protocol listings describe. Transcripts are order-preserving, so
 	// the value never changes protocol results — only wall-clock time.
 	Workers int
+	// Telemetry optionally records phase spans and metrics for the query.
+	// It is a per-query override of the Client's Telemetry field; the
+	// registry is deliberately gob-inert, so it never crosses a transport
+	// link — mediators and sources observe into their own Telemetry
+	// fields, which the in-process Network (and medbench) point at the
+	// same registry to assemble a cross-party span tree.
+	Telemetry *telemetry.Registry
 }
 
 func (p Params) withDefaults() Params {
@@ -245,16 +253,23 @@ func recvInto(conn transport.Conn, typ string, v any) error {
 
 // stopwatch accumulates a party's active compute time into the ledger
 // (item "compute-ns"), excluding time spent blocked on the network. The
-// Section 6 cost matrix reads these.
+// Section 6 cost matrix reads these. When a telemetry root span is
+// attached, tracked work additionally becomes named child spans of that
+// root — the per-phase cost breakdown.
 type stopwatch struct {
 	ledger *leakage.Ledger
 	party  string
 	total  time.Duration
+	root   *telemetry.Span
 }
 
 func newStopwatch(l *leakage.Ledger, party string) *stopwatch {
 	return &stopwatch{ledger: l, party: party}
 }
+
+// attach nests subsequent phase calls under the given root span. A nil
+// root (telemetry off) keeps the stopwatch ledger-only.
+func (s *stopwatch) attach(root *telemetry.Span) { s.root = root }
 
 // track runs f while accumulating its duration.
 func (s *stopwatch) track(f func() error) error {
@@ -263,4 +278,26 @@ func (s *stopwatch) track(f func() error) error {
 	s.total += time.Since(start)
 	s.ledger.Observe(s.party, "compute-ns", s.total.Nanoseconds())
 	return err
+}
+
+// phase runs f as one named telemetry phase (a child span of the attached
+// root) while also accumulating compute time like track. With no root
+// attached the span calls are nil no-ops.
+func (s *stopwatch) phase(name string, f func() error) error {
+	sp := s.root.Start(name)
+	err := s.track(f)
+	sp.End()
+	return err
+}
+
+// trafficGauges exports one endpoint's transport counters as telemetry
+// gauges labelled by the recording party and its peer. Nil-safe.
+func trafficGauges(reg *telemetry.Registry, party, peer string, st *transport.Stats) {
+	if !reg.Enabled() {
+		return
+	}
+	reg.Gauge("transport_bytes_sent", "party", party, "peer", peer).Set(st.BytesSent())
+	reg.Gauge("transport_bytes_recv", "party", party, "peer", peer).Set(st.BytesRecv())
+	reg.Gauge("transport_msgs_sent", "party", party, "peer", peer).Set(st.MsgsSent())
+	reg.Gauge("transport_msgs_recv", "party", party, "peer", peer).Set(st.MsgsRecv())
 }

@@ -10,6 +10,7 @@ import (
 	"github.com/secmediation/secmediation/internal/leakage"
 	"github.com/secmediation/secmediation/internal/relation"
 	"github.com/secmediation/secmediation/internal/sqlparse"
+	"github.com/secmediation/secmediation/internal/telemetry"
 	"github.com/secmediation/secmediation/internal/transport"
 )
 
@@ -28,6 +29,9 @@ type Source struct {
 	TrustedCAs []*rsa.PublicKey
 	// Ledger optionally records leakage and primitive usage.
 	Ledger *leakage.Ledger
+	// Telemetry optionally records phase spans and traffic metrics for
+	// this party.
+	Telemetry *telemetry.Registry
 	// Now is an injectable clock for credential validation (defaults to
 	// time.Now).
 	Now func() time.Time
@@ -63,7 +67,13 @@ func (s *Source) Serve(conn transport.Conn) error {
 	if err := sendMsg(conn, msgPartialAck, PartialAck{Granted: true, Schema: rel.Schema()}); err != nil {
 		return err
 	}
+	root := s.Telemetry.Tracer(s.party()).Start("session")
+	root.Annotate("protocol", pq.Protocol.String())
+	root.Annotate("relation", pq.Relation)
+	defer root.End()
+	defer trafficGauges(s.Telemetry, s.party(), "mediator", conn.Stats())
 	watch := newStopwatch(s.Ledger, s.party())
+	watch.attach(root)
 	if pq.Union {
 		if err := s.serveMobileCode(conn, &pq, rel, clientKey, watch); err != nil {
 			sendError(conn, err)

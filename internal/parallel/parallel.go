@@ -16,6 +16,19 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"github.com/secmediation/secmediation/internal/telemetry"
+)
+
+// Process-wide pool telemetry: task and batch counts plus the
+// distribution of how long a chunk waited from batch start to pickup —
+// the pool's queueing delay. One histogram observation per chunk (not
+// per item) keeps the overhead off the per-value hot path.
+var (
+	opTasks   = telemetry.CryptoOp("parallel.tasks")
+	opBatches = telemetry.CryptoOp("parallel.batches")
+	queueWait = telemetry.GlobalHistogram("parallel_queue_wait_ns")
 )
 
 // chunksPerWorker over-partitions the index range so workers that draw
@@ -46,6 +59,8 @@ func ForEach(n, workers int, fn func(i int) error) error {
 	if n <= 0 {
 		return nil
 	}
+	opTasks.Add(int64(n))
+	opBatches.Add(1)
 	workers = Resolve(workers)
 	if workers > n {
 		workers = n
@@ -62,6 +77,7 @@ func ForEach(n, workers int, fn func(i int) error) error {
 	if chunk < 1 {
 		chunk = 1
 	}
+	batchStart := time.Now()
 	var (
 		next     atomic.Int64
 		failed   atomic.Bool
@@ -82,6 +98,7 @@ func ForEach(n, workers int, fn func(i int) error) error {
 				if lo >= n {
 					return
 				}
+				queueWait.Observe(time.Since(batchStart).Nanoseconds())
 				hi := lo + chunk
 				if hi > n {
 					hi = n

@@ -7,14 +7,28 @@ import (
 )
 
 // Secretfmt flags secret-named identifiers flowing into fmt/log
-// formatting under content-rendering verbs (%x, %v, %s, ...) and into
-// String() calls. Keys and wrapped keys must never land in error
-// strings or logs: protocol errors travel to the mediator verbatim
-// (mediation.sendError), and the mediator is the adversary.
+// formatting under content-rendering verbs (%x, %v, %s, ...), into
+// String() calls, and into telemetry span labels (Annotate). Keys and
+// wrapped keys must never land in error strings or logs: protocol
+// errors travel to the mediator verbatim (mediation.sendError), and
+// the mediator is the adversary. Span labels are stricter still — they
+// are exported verbatim on the operator-facing /metrics and /trace
+// endpoints, so even ciphertexts (which the protocols deliberately
+// show the mediator) must stay out of them.
 var Secretfmt = &Analyzer{
 	Name: "secretfmt",
-	Doc:  "secret material formatted into errors, logs or String()",
+	Doc:  "secret material formatted into errors, logs, String() or span labels",
 	Run:  runSecretfmt,
+}
+
+// spanLabelWords extends the secret vocabulary for the Annotate rule:
+// ciphertext-named values are not "secret" in the fmt/log sense (the
+// mediator processes them by design) but they do not belong on an
+// observability endpoint.
+var spanLabelWords = map[string]bool{
+	"ciphertext": true,
+	"cipher":     true,
+	"encrypted":  true,
 }
 
 // formatFuncs maps formatting functions to the index of their format
@@ -53,6 +67,18 @@ func runSecretfmt(p *Pass) {
 			if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "String" && len(call.Args) == 0 {
 				if name, ok := secretIn(sel.X); ok {
 					p.Reportf(call.Pos(), "String() called on secret material %q; secrets must not be rendered", name)
+				}
+				return true
+			}
+			// span.Annotate(key, value) — labels are exported verbatim.
+			if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Annotate" {
+				for _, arg := range call.Args {
+					if lenOfSecret(arg) {
+						continue
+					}
+					if name, ok := labelSecretIn(arg); ok {
+						p.Reportf(arg.Pos(), "secret material %q annotated onto a telemetry span by %s; span labels are exported verbatim on /metrics and /trace", name, callLabel(call))
+					}
 				}
 				return true
 			}
@@ -113,6 +139,41 @@ func checkFormatCall(p *Pass, call *ast.CallExpr, fmtIdx int) {
 			p.Reportf(args[v.arg].Pos(), "secret material %q formatted with %%%c by %s; secrets must not reach errors or logs", name, v.verb, callLabel(call))
 		}
 	}
+}
+
+// labelSecretIn is secretIn with the span-label vocabulary added: it
+// returns the first identifier in e that names either secret material
+// or ciphertext-shaped payload. Neutral words (keyLen, cipherName, ...)
+// override, exactly as in isSecretName.
+func labelSecretIn(e ast.Expr) (string, bool) {
+	if name, ok := secretIn(e); ok {
+		return name, true
+	}
+	var found string
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found != "" {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		hit := false
+		for _, w := range identWords(id.Name) {
+			if neutralWords[w] {
+				return true
+			}
+			if spanLabelWords[w] {
+				hit = true
+			}
+		}
+		if hit {
+			found = id.Name
+			return false
+		}
+		return true
+	})
+	return found, found != ""
 }
 
 // lenOfSecret reports whether arg is len(...) — lengths of key and tag

@@ -44,3 +44,20 @@ func Render(sessionKey WrappedKey) string {
 func RenderRow(row WrappedKey) string {
 	return row.String()
 }
+
+// Span mimics a telemetry span: labels set via Annotate are exported
+// verbatim on the observability endpoints.
+type Span struct{}
+
+// Annotate attaches a label to the span.
+func (*Span) Annotate(key, value string) {}
+
+// AnnotateSpans exercises the span-label rule: ciphertexts and keys
+// must never become labels, while protocol metadata may.
+func AnnotateSpans(sp *Span, ciphertext []byte, sessionKey []byte, protoName string) {
+	sp.Annotate("payload", string(ciphertext)) // want "annotated onto a telemetry span"
+	sp.Annotate("session", string(sessionKey)) // want "annotated onto a telemetry span"
+	sp.Annotate("protocol", protoName)         // public metadata; fine
+	cipherName := "pohlig-hellman"
+	sp.Annotate("scheme", cipherName) // neutral word overrides; fine
+}

@@ -1,0 +1,52 @@
+package telemetry
+
+import "testing"
+
+// The acceptance bar for the subsystem: with a nil registry every
+// telemetry call on a protocol hot path must be free — no allocations,
+// so un-instrumented runs measure the protocols, not the probes.
+
+func TestNilRegistryZeroAllocs(t *testing.T) {
+	var r *Registry
+	tr := r.Tracer("client")
+	c := r.Counter("c")
+	g := r.Gauge("g")
+	h := r.Histogram("h")
+
+	if n := testing.AllocsPerRun(1000, func() {
+		sp := tr.Start("phase")
+		sp.Annotate("k", "v")
+		inner := sp.Start("inner")
+		inner.End()
+		sp.End()
+	}); n != 0 {
+		t.Errorf("nil span path allocates %.1f per run, want 0", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() {
+		c.Add(1)
+		g.Set(2)
+		h.Observe(3)
+	}); n != 0 {
+		t.Errorf("nil metric path allocates %.1f per run, want 0", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() {
+		if r.Tracer("client") != nil || r.Counter("c") != nil {
+			t.Fatal("nil registry produced live handles")
+		}
+	}); n != 0 {
+		t.Errorf("nil registry lookups allocate %.1f per run, want 0", n)
+	}
+}
+
+func TestOpAddZeroAllocs(t *testing.T) {
+	// The always-on crypto counters sit inside Encrypt/Decrypt loops;
+	// they must be a bare atomic add.
+	op := CryptoOp("alloc.test")
+	if n := testing.AllocsPerRun(1000, func() { op.Add(1) }); n != 0 {
+		t.Errorf("Op.Add allocates %.1f per run, want 0", n)
+	}
+	var nilOp *Op
+	if n := testing.AllocsPerRun(1000, func() { nilOp.Add(1) }); n != 0 {
+		t.Errorf("nil Op.Add allocates %.1f per run, want 0", n)
+	}
+}

@@ -1,0 +1,264 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// MetricSnapshot is one exported counter or gauge value.
+type MetricSnapshot struct {
+	Name   string   `json:"name"`
+	Labels []string `json:"labels,omitempty"` // alternating key/value
+	Value  int64    `json:"value"`
+}
+
+// Snapshot is the full exported state of a registry: the span tree, the
+// registry-scoped metrics, the per-run operation deltas, and the
+// process-wide histograms (cumulative).
+type Snapshot struct {
+	TakenUnixNs      int64                        `json:"taken_unix_ns"`
+	Counters         []MetricSnapshot             `json:"counters,omitempty"`
+	Gauges           []MetricSnapshot             `json:"gauges,omitempty"`
+	Histograms       map[string]HistogramSnapshot `json:"histograms,omitempty"`
+	Ops              map[string]int64             `json:"ops,omitempty"`
+	GlobalHistograms map[string]HistogramSnapshot `json:"global_histograms,omitempty"`
+	Spans            []SpanRecord                 `json:"spans,omitempty"`
+}
+
+// Snapshot captures the registry's current state. Nil and inert
+// registries return an empty snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{TakenUnixNs: time.Now().UnixNano()}
+	if !r.active() {
+		return s
+	}
+	s.Spans = r.Spans()
+	s.Ops = r.OpDeltas()
+	s.GlobalHistograms = globalHistSnapshots()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, key := range sortedNames(r.counters) {
+		c := r.counters[key]
+		s.Counters = append(s.Counters, MetricSnapshot{Name: c.name, Labels: c.labels, Value: c.n.Load()})
+	}
+	for _, key := range sortedNames(r.gauges) {
+		g := r.gauges[key]
+		s.Gauges = append(s.Gauges, MetricSnapshot{Name: g.name, Labels: g.labels, Value: g.v.Load()})
+	}
+	if len(r.hists) > 0 {
+		s.Histograms = make(map[string]HistogramSnapshot, len(r.hists))
+		for key, h := range r.hists {
+			s.Histograms[key] = h.snapshot()
+		}
+	}
+	return s
+}
+
+// WriteJSON writes the registry snapshot as indented JSON.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// ---------------------------------------------------------------------------
+// Prometheus text exposition format (version 0.0.4). Metric names are
+// sanitized to the Prometheus charset and prefixed "secmed_".
+
+// promName maps an internal metric name onto the Prometheus charset.
+func promName(name string) string {
+	var b strings.Builder
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_', r == ':':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return "secmed_" + b.String()
+}
+
+// promLabels renders alternating key/value pairs as {k="v",...}.
+func promLabels(pairs []string, extra ...string) string {
+	all := append(append([]string(nil), pairs...), extra...)
+	if len(all) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i := 0; i+1 < len(all); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		v := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`).Replace(all[i+1])
+		fmt.Fprintf(&b, `%s=%q`, all[i], v)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func promHistogram(b *strings.Builder, name string, labels []string, h HistogramSnapshot) {
+	n := promName(name)
+	fmt.Fprintf(b, "# TYPE %s histogram\n", n)
+	var cum int64
+	for i, c := range h.Buckets {
+		cum += c
+		le := fmt.Sprint(BucketBound(i))
+		if i == len(h.Buckets)-1 {
+			le = "+Inf"
+		}
+		fmt.Fprintf(b, "%s_bucket%s %d\n", n, promLabels(labels, "le", le), cum)
+	}
+	fmt.Fprintf(b, "%s_sum%s %d\n", n, promLabels(labels), h.Sum)
+	fmt.Fprintf(b, "%s_count%s %d\n", n, promLabels(labels), h.Count)
+}
+
+// WritePrometheus writes the registry-scoped metrics, the process-wide
+// operation totals (cumulative, as Prometheus counters must be) and the
+// process-wide histograms in the Prometheus text exposition format.
+// Span durations are aggregated into secmed_phase_ns_total per
+// (party, phase). The document is rendered in memory and written in a
+// single Write, so a partial scrape never reaches the client.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	var b strings.Builder
+	// Process-wide operation counters: always exported, even through an
+	// inert registry, so a /metrics endpoint shows crypto work regardless
+	// of per-run instrumentation.
+	ops := OpTotals()
+	if len(ops) > 0 {
+		fmt.Fprintf(&b, "# TYPE %s counter\n", promName("crypto_ops_total"))
+		for _, name := range sortedNames(ops) {
+			fmt.Fprintf(&b, "%s%s %d\n", promName("crypto_ops_total"), promLabels(nil, "op", name), ops[name])
+		}
+	}
+	hists := globalHistSnapshots()
+	for _, name := range sortedNames(hists) {
+		promHistogram(&b, name, nil, hists[name])
+	}
+	if r.active() {
+		r.writePrometheusRegistry(&b)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// writePrometheusRegistry renders the registry-scoped metrics and the
+// per-phase span aggregates.
+func (r *Registry) writePrometheusRegistry(b *strings.Builder) {
+	r.mu.Lock()
+	counterKeys := sortedNames(r.counters)
+	gaugeKeys := sortedNames(r.gauges)
+	histKeys := sortedNames(r.hists)
+	typed := map[string]bool{}
+	for _, key := range counterKeys {
+		c := r.counters[key]
+		if !typed[c.name] {
+			typed[c.name] = true
+			fmt.Fprintf(b, "# TYPE %s counter\n", promName(c.name))
+		}
+		fmt.Fprintf(b, "%s%s %d\n", promName(c.name), promLabels(c.labels), c.n.Load())
+	}
+	for _, key := range gaugeKeys {
+		g := r.gauges[key]
+		if !typed[g.name] {
+			typed[g.name] = true
+			fmt.Fprintf(b, "# TYPE %s gauge\n", promName(g.name))
+		}
+		fmt.Fprintf(b, "%s%s %d\n", promName(g.name), promLabels(g.labels), g.v.Load())
+	}
+	regHists := make([]*Histogram, 0, len(histKeys))
+	for _, key := range histKeys {
+		regHists = append(regHists, r.hists[key])
+	}
+	r.mu.Unlock()
+	for _, h := range regHists {
+		promHistogram(b, h.name, h.labels, h.snapshot())
+	}
+
+	// Per-phase span totals.
+	type phaseKey struct{ party, name string }
+	totals := map[phaseKey]int64{}
+	counts := map[phaseKey]int64{}
+	var order []phaseKey
+	for _, sp := range r.Spans() {
+		k := phaseKey{sp.Party, sp.Name}
+		if _, seen := totals[k]; !seen {
+			order = append(order, k)
+		}
+		totals[k] += sp.DurNs
+		counts[k]++
+	}
+	if len(order) > 0 {
+		fmt.Fprintf(b, "# TYPE %s counter\n", promName("phase_ns_total"))
+		for _, k := range order {
+			fmt.Fprintf(b, "%s%s %d\n", promName("phase_ns_total"),
+				promLabels(nil, "party", k.party, "phase", k.name), totals[k])
+		}
+		fmt.Fprintf(b, "# TYPE %s counter\n", promName("phase_spans_total"))
+		for _, k := range order {
+			fmt.Fprintf(b, "%s%s %d\n", promName("phase_spans_total"),
+				promLabels(nil, "party", k.party, "phase", k.name), counts[k])
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Chrome trace-event format: load the output of WriteChromeTrace in
+// chrome://tracing (or https://ui.perfetto.dev) to see the per-party
+// phase timeline of a run. Every party becomes a named thread; spans
+// become complete ("X") events.
+
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat,omitempty"`
+	Ph   string            `json:"ph"`
+	Ts   float64           `json:"ts"` // microseconds
+	Dur  float64           `json:"dur,omitempty"`
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace writes the span tree as a Chrome trace-event JSON
+// document. Nil and inert registries write an empty (but loadable)
+// trace.
+func (r *Registry) WriteChromeTrace(w io.Writer) error {
+	trace := chromeTrace{TraceEvents: []chromeEvent{}, DisplayTimeUnit: "ms"}
+	spans := r.Spans()
+	tids := map[string]int{}
+	for _, sp := range spans {
+		tid, ok := tids[sp.Party]
+		if !ok {
+			tid = len(tids) + 1
+			tids[sp.Party] = tid
+			trace.TraceEvents = append(trace.TraceEvents, chromeEvent{
+				Name: "thread_name", Ph: "M", Pid: 1, Tid: tid,
+				Args: map[string]string{"name": sp.Party},
+			})
+		}
+		ev := chromeEvent{
+			Name: sp.Name, Cat: "phase", Ph: "X",
+			Ts:  float64(sp.StartNs) / 1e3,
+			Dur: float64(sp.DurNs) / 1e3,
+			Pid: 1, Tid: tid,
+		}
+		if len(sp.Attrs) > 0 {
+			ev.Args = make(map[string]string, len(sp.Attrs))
+			for _, a := range sp.Attrs {
+				ev.Args[a.Key] = a.Value
+			}
+		}
+		trace.TraceEvents = append(trace.TraceEvents, ev)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(trace)
+}

@@ -1,0 +1,140 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func populated(t *testing.T) *Registry {
+	t.Helper()
+	r := NewRegistry()
+	tr := r.Tracer("mediator")
+	sp := tr.Start(PhaseMatch)
+	sp.Annotate("rows", "10")
+	sp.End()
+	r.Counter("messages", "party", "mediator").Add(3)
+	r.Gauge("bytes_sent", "party", "mediator").Set(512)
+	r.Histogram("latency_ns", "party", "mediator").Observe(2048)
+	CryptoOp("export.test").Add(2)
+	GlobalHistogram("export_wait_ns").Observe(100)
+	return r
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	r := populated(t)
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &snap); err != nil {
+		t.Fatalf("snapshot is not valid JSON: %v", err)
+	}
+	if len(snap.Spans) != 1 || snap.Spans[0].Name != PhaseMatch {
+		t.Errorf("spans = %+v", snap.Spans)
+	}
+	if len(snap.Counters) != 1 || snap.Counters[0].Value != 3 {
+		t.Errorf("counters = %+v", snap.Counters)
+	}
+	if snap.Ops["export.test"] < 2 {
+		t.Errorf("ops = %v", snap.Ops)
+	}
+	if _, ok := snap.Histograms[`latency_ns{party,mediator}`]; !ok {
+		t.Errorf("histograms = %v", snap.Histograms)
+	}
+}
+
+func TestPrometheusFormat(t *testing.T) {
+	r := populated(t)
+	var buf bytes.Buffer
+	r.WritePrometheus(&buf)
+	out := buf.String()
+	for _, want := range []string{
+		`secmed_crypto_ops_total{op="export.test"}`,
+		"# TYPE secmed_messages counter",
+		`secmed_messages{party="mediator"} 3`,
+		`secmed_bytes_sent{party="mediator"} 512`,
+		"secmed_latency_ns_bucket",
+		`le="+Inf"`,
+		`secmed_phase_ns_total{party="mediator",phase="mediator.match"}`,
+		`secmed_phase_spans_total{party="mediator",phase="mediator.match"} 1`,
+		"secmed_export_wait_ns_count",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q\n%s", want, out)
+		}
+	}
+	// Inert registries still expose the process-wide counters.
+	var inertBuf bytes.Buffer
+	(&Registry{}).WritePrometheus(&inertBuf)
+	if !strings.Contains(inertBuf.String(), "secmed_crypto_ops_total") {
+		t.Error("inert registry dropped process-wide ops from /metrics")
+	}
+	if strings.Contains(inertBuf.String(), "secmed_messages") {
+		t.Error("inert registry leaked registry-scoped metrics")
+	}
+}
+
+func TestChromeTrace(t *testing.T) {
+	r := populated(t)
+	var buf bytes.Buffer
+	if err := r.WriteChromeTrace(&buf); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+	var trace struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &trace); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	var haveMeta, haveSpan bool
+	for _, ev := range trace.TraceEvents {
+		switch ev["ph"] {
+		case "M":
+			haveMeta = true
+			args, _ := ev["args"].(map[string]any)
+			if args["name"] != "mediator" {
+				t.Errorf("thread_name args = %v", args)
+			}
+		case "X":
+			haveSpan = true
+			if ev["name"] != PhaseMatch {
+				t.Errorf("span event = %v", ev)
+			}
+		}
+	}
+	if !haveMeta || !haveSpan {
+		t.Errorf("trace missing meta (%v) or span (%v) events", haveMeta, haveSpan)
+	}
+	// Nil registry still produces a loadable document.
+	var nilBuf bytes.Buffer
+	var nilReg *Registry
+	if err := nilReg.WriteChromeTrace(&nilBuf); err != nil {
+		t.Fatalf("nil trace: %v", err)
+	}
+	if !strings.Contains(nilBuf.String(), "traceEvents") {
+		t.Errorf("nil trace = %q", nilBuf.String())
+	}
+}
+
+func TestHTTPHandler(t *testing.T) {
+	r := populated(t)
+	h := Handler(r)
+	for path, wantBody := range map[string]string{
+		"/metrics":  "secmed_crypto_ops_total",
+		"/trace":    "traceEvents",
+		"/snapshot": "taken_unix_ns",
+	} {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+		if rec.Code != 200 {
+			t.Errorf("%s: status %d", path, rec.Code)
+		}
+		if !strings.Contains(rec.Body.String(), wantBody) {
+			t.Errorf("%s: body missing %q", path, wantBody)
+		}
+	}
+}

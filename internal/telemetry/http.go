@@ -1,0 +1,53 @@
+package telemetry
+
+import (
+	"log"
+	"net/http"
+)
+
+// Handler serves a registry over HTTP:
+//
+//	/metrics   Prometheus text exposition (scrapeable)
+//	/trace     Chrome trace-event JSON (load in chrome://tracing)
+//	/snapshot  full JSON snapshot (spans + metrics + op deltas)
+//
+// The registry may be nil or inert; the endpoints then expose only the
+// process-wide operation counters (on /metrics) and empty documents.
+// All endpoints are read-only, so the handler is safe to mount on an
+// operator-facing port; telemetry values must never contain secret
+// material (see Span.Annotate).
+func Handler(r *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := r.WritePrometheus(w); err != nil {
+			log.Printf("telemetry: writing metrics: %v", err)
+		}
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := r.WriteChromeTrace(w); err != nil {
+			log.Printf("telemetry: writing trace: %v", err)
+		}
+	})
+	mux.HandleFunc("/snapshot", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := r.WriteJSON(w); err != nil {
+			log.Printf("telemetry: writing snapshot: %v", err)
+		}
+	})
+	return mux
+}
+
+// Serve starts an HTTP server for the registry's endpoints on addr in a
+// background goroutine — the opt-in observability port of the party
+// commands (cmd/mediator, cmd/datasource, cmd/webdemo). Listen errors
+// are logged, not fatal: a party must keep serving the protocol even if
+// its metrics port is taken.
+func Serve(addr string, r *Registry) {
+	go func() {
+		if err := http.ListenAndServe(addr, Handler(r)); err != nil {
+			log.Printf("telemetry: serving %s: %v", addr, err)
+		}
+	}()
+}

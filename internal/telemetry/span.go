@@ -1,0 +1,166 @@
+package telemetry
+
+import (
+	"sort"
+	"time"
+)
+
+// The span names used across the mediation protocols — the measured
+// phase taxonomy. They mirror the paper's per-phase cost structure:
+// querying (request handling, decomposition, partial queries), the
+// delivery phase (source encryption, cross-encryption rounds, mediator
+// matching, the DAS client-side query translation), and the client
+// post-processing. Protocol code is free to emit other names; these
+// constants keep the five protocols comparable.
+const (
+	PhaseQuerying      = "querying"
+	PhaseTranslate     = "query.translate"
+	PhaseSourceEncrypt = "source.encrypt"
+	PhaseCrossEncrypt  = "cross.encrypt"
+	PhaseMatch         = "mediator.match"
+	PhasePostFilter    = "client.post-filter"
+)
+
+// Attr is one span annotation. Values must never contain secret or
+// ciphertext material: spans are exported over /trace and land in
+// bench artifacts (the seclint secretfmt analyzer enforces this at
+// Annotate call sites).
+type Attr struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// SpanRecord is one finished span as stored in the registry: a named
+// interval attributed to a party, positioned relative to the registry
+// epoch so concurrent parties share one timeline.
+type SpanRecord struct {
+	ID      int64  `json:"id"`
+	Parent  int64  `json:"parent,omitempty"` // 0 = root
+	Party   string `json:"party"`
+	Name    string `json:"name"`
+	StartNs int64  `json:"start_ns"` // relative to the registry epoch
+	DurNs   int64  `json:"dur_ns"`
+	Attrs   []Attr `json:"attrs,omitempty"`
+}
+
+// Tracer starts spans attributed to one party. Obtain via
+// Registry.Tracer; a nil tracer (from a nil or inert registry) starts
+// nil spans and costs nothing.
+type Tracer struct {
+	reg   *Registry
+	party string
+}
+
+// Tracer returns a span factory for one party ("client", "mediator",
+// "source:S1", ...). Nil-safe: a nil or inert registry returns a nil
+// tracer.
+func (r *Registry) Tracer(party string) *Tracer {
+	if !r.active() {
+		return nil
+	}
+	return &Tracer{reg: r, party: party}
+}
+
+// Span is one live phase interval. End it exactly once; child spans
+// (Start) nest under it. All methods are nil-safe no-ops so
+// un-instrumented runs pay nothing.
+type Span struct {
+	reg    *Registry
+	party  string
+	name   string
+	id     int64
+	parent int64
+	start  time.Time
+	attrs  []Attr
+}
+
+// Start opens a root span for the tracer's party.
+func (t *Tracer) Start(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	return t.reg.startSpan(t.party, name, 0)
+}
+
+// Start opens a child span nested under s (same party).
+func (s *Span) Start(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.reg.startSpan(s.party, name, s.id)
+}
+
+func (r *Registry) startSpan(party, name string, parent int64) *Span {
+	r.mu.Lock()
+	r.nextSpanID++
+	id := r.nextSpanID
+	r.mu.Unlock()
+	return &Span{reg: r, party: party, name: name, id: id, parent: parent, start: time.Now()}
+}
+
+// Annotate attaches a key/value label to the span. Labels are exported
+// verbatim (Chrome trace args, JSON snapshots, /trace), so they must
+// never carry key or ciphertext material — only public quantities such
+// as counts, protocol names and relation names.
+func (s *Span) Annotate(key, value string) {
+	if s == nil {
+		return
+	}
+	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+}
+
+// End finishes the span and records it. Safe on nil spans.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	rec := SpanRecord{
+		ID:      s.id,
+		Parent:  s.parent,
+		Party:   s.party,
+		Name:    s.name,
+		StartNs: s.reg.sinceStart(s.start),
+		DurNs:   time.Since(s.start).Nanoseconds(),
+		Attrs:   s.attrs,
+	}
+	s.reg.mu.Lock()
+	s.reg.spans = append(s.reg.spans, rec)
+	s.reg.mu.Unlock()
+}
+
+// Spans returns a copy of all finished spans, ordered by start time.
+func (r *Registry) Spans() []SpanRecord {
+	if !r.active() {
+		return nil
+	}
+	r.mu.Lock()
+	out := make([]SpanRecord, len(r.spans))
+	copy(out, r.spans)
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].StartNs != out[j].StartNs {
+			return out[i].StartNs < out[j].StartNs
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// PhaseTotal sums the durations of all spans with the given party and
+// name, returning the total and the span count.
+func (r *Registry) PhaseTotal(party, name string) (time.Duration, int) {
+	if !r.active() {
+		return 0, 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var total int64
+	var n int
+	for i := range r.spans {
+		if r.spans[i].Party == party && r.spans[i].Name == name {
+			total += r.spans[i].DurNs
+			n++
+		}
+	}
+	return time.Duration(total), n
+}

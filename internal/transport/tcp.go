@@ -3,11 +3,44 @@ package transport
 import (
 	"encoding/gob"
 	"fmt"
+	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 )
 
-// tcpConn adapts a net.Conn to the Conn interface with gob framing.
+// countingWriter counts every byte that actually leaves for the wire —
+// including gob's type descriptors and frame headers, which
+// Message.size() knows nothing about.
+type countingWriter struct {
+	w io.Writer
+	n *atomic.Int64
+}
+
+func (cw countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.n.Add(int64(n))
+	return n, err
+}
+
+// countingReader counts every byte consumed from the wire. The gob
+// decoder reads whole frames, so after a message is fully decoded the
+// count covers everything the peer sent for it.
+type countingReader struct {
+	r io.Reader
+	n *atomic.Int64
+}
+
+func (cr countingReader) Read(p []byte) (int, error) {
+	n, err := cr.r.Read(p)
+	cr.n.Add(int64(n))
+	return n, err
+}
+
+// tcpConn adapts a net.Conn to the Conn interface with gob framing. The
+// gob streams run through counting wrappers, so Stats reports true wire
+// bytes (framing, type descriptors and all) rather than the payload
+// approximation the in-memory transport uses.
 type tcpConn struct {
 	nc        net.Conn
 	enc       *gob.Encoder
@@ -30,7 +63,10 @@ func Dial(addr string) (Conn, error) {
 
 // WrapNetConn turns any net.Conn into a transport Conn (gob-framed).
 func WrapNetConn(nc net.Conn) Conn {
-	return &tcpConn{nc: nc, enc: gob.NewEncoder(nc), dec: gob.NewDecoder(nc)}
+	c := &tcpConn{nc: nc}
+	c.enc = gob.NewEncoder(countingWriter{w: nc, n: &c.stats.bytesSent})
+	c.dec = gob.NewDecoder(countingReader{r: nc, n: &c.stats.bytesRecv})
+	return c
 }
 
 // Listener accepts party connections.
@@ -63,7 +99,8 @@ func (l *Listener) Accept() (Conn, error) {
 // Close stops the listener.
 func (l *Listener) Close() error { return l.l.Close() }
 
-// Send implements Conn.
+// Send implements Conn. Byte accounting happens in the counting writer
+// under the gob encoder; only the message count is bumped here.
 func (c *tcpConn) Send(m Message) error {
 	c.sendMu.Lock()
 	defer c.sendMu.Unlock()
@@ -71,11 +108,11 @@ func (c *tcpConn) Send(m Message) error {
 		return fmt.Errorf("transport: tcp send: %w", err)
 	}
 	c.stats.msgsSent.Add(1)
-	c.stats.bytesSent.Add(int64(m.size()))
 	return nil
 }
 
-// Recv implements Conn.
+// Recv implements Conn. Byte accounting happens in the counting reader
+// under the gob decoder; only the message count is bumped here.
 func (c *tcpConn) Recv() (Message, error) {
 	c.recvMu.Lock()
 	defer c.recvMu.Unlock()
@@ -84,7 +121,6 @@ func (c *tcpConn) Recv() (Message, error) {
 		return Message{}, err
 	}
 	c.stats.msgsRecv.Add(1)
-	c.stats.bytesRecv.Add(int64(m.size()))
 	return m, nil
 }
 
