@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet lint lint-json build test race bench parallel-report telemetry-report
+.PHONY: all vet lint lint-json build test race chaos bench parallel-report telemetry-report
 
 all: vet lint build test race
 
@@ -8,8 +8,9 @@ vet:
 	$(GO) vet ./...
 
 # Crypto-invariant static analysis (cmd/seclint): weakrand, subtlecmp,
-# secretfmt, errdrop, rawexp over every module package, gated on the
-# audited exceptions in seclint.allow. Non-zero exit on any finding.
+# secretfmt, errdrop, rawexp, rawrecv over every module package, gated
+# on the audited exceptions in seclint.allow. Non-zero exit on any
+# finding.
 lint:
 	$(GO) run ./cmd/seclint
 
@@ -24,9 +25,17 @@ test:
 	$(GO) test ./...
 
 # The concurrency safety gate: the mediation protocols, the worker pool,
-# the telemetry registry and the transport stats under the race detector.
+# the telemetry registry, the transport layer and the leak-check helpers
+# under the race detector.
 race:
-	$(GO) test -race ./internal/mediation/... ./internal/parallel/... ./internal/telemetry/... ./internal/transport/...
+	$(GO) test -race ./internal/mediation/... ./internal/parallel/... ./internal/telemetry/... ./internal/transport/... ./internal/testutil/...
+
+# The resilience gate (docs/RESILIENCE.md): every protocol under every
+# fault class on the fixed seed, the mid-protocol crash matrix and the
+# timeout-attribution tests, race-checked and leak-checked. Override the
+# fault schedule with CHAOS_SEED=<uint64> to explore other positions.
+chaos:
+	$(GO) test -race -count=1 -run 'TestChaos|TestSourceCrash|TestSilent|TestMediatorCrash' ./internal/mediation
 
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x ./...

@@ -198,11 +198,27 @@ type (
 	Conn = transport.Conn
 	// Listener accepts party connections.
 	Listener = transport.Listener
+	// RetryPolicy shapes DialRetry's backoff.
+	RetryPolicy = transport.RetryPolicy
+	// FaultPlan schedules deterministic fault injection on a link.
+	FaultPlan = transport.FaultPlan
+	// FaultClass enumerates injectable link faults.
+	FaultClass = transport.FaultClass
+	// ProtocolError attributes a mid-protocol failure to a party and phase.
+	ProtocolError = mediation.ProtocolError
 )
 
 var (
 	// Dial connects to a listening party.
 	Dial = transport.Dial
+	// DialRetry is Dial with capped exponential backoff between attempts.
+	DialRetry = transport.DialRetry
 	// Listen starts a party listener.
 	Listen = transport.Listen
+	// WrapFault injects scheduled faults into a link (tests, chaos drills).
+	WrapFault = transport.WrapFault
+	// ErrTimeout marks a send/receive that exceeded the armed deadline.
+	ErrTimeout = transport.ErrTimeout
+	// ErrTooLarge marks an inbound frame above the listener's size limit.
+	ErrTooLarge = transport.ErrTooLarge
 )

@@ -19,6 +19,7 @@ import (
 	"log"
 	"os"
 	"strings"
+	"time"
 
 	"github.com/secmediation/secmediation/internal/algebra"
 	"github.com/secmediation/secmediation/internal/credential"
@@ -47,6 +48,8 @@ func main() {
 	flag.Var(&rels, "relation", "relation as name=path.csv (repeatable)")
 	flag.Var(&requires, "require", "policy as relation:prop=value (repeatable; multiple for one relation AND together)")
 	telemetryAddr := flag.String("telemetry", "", "serve /metrics, /trace and /snapshot on this address (empty disables)")
+	timeout := flag.Duration("timeout", 2*time.Minute, "per-operation deadline on accepted links before the partial query arrives (0 disables)")
+	maxMsg := flag.Int64("maxmsg", 0, "inbound message size limit in bytes (0 = default 256 MiB)")
 	flag.Parse()
 
 	src, err := buildSource(*name, cas, rels, requires)
@@ -62,6 +65,7 @@ func main() {
 	if err != nil {
 		log.Fatalf("datasource: %v", err)
 	}
+	l.MaxMessage = *maxMsg
 	log.Printf("datasource %s serving %d relation(s) at %s", *name, len(src.Catalog), l.Addr())
 	for {
 		conn, err := l.Accept()
@@ -70,6 +74,9 @@ func main() {
 		}
 		go func() {
 			defer conn.Close()
+			// Bound the wait for the partial query itself; once it arrives,
+			// its Params.Timeout (the client's choice) re-arms the link.
+			conn.SetTimeout(*timeout)
 			if err := src.Serve(conn); err != nil {
 				log.Printf("session: %v", err)
 			}

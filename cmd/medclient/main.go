@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"github.com/secmediation/secmediation/internal/credential"
 	"github.com/secmediation/secmediation/internal/das"
@@ -97,6 +98,8 @@ func runQuery(args []string) error {
 	payload := fs.String("payload", "inline", "PM payload mode: inline|hybrid")
 	buckets := fs.Int("buckets", 0, "PM FNP bucket count (0 = single polynomial)")
 	workers := fs.Int("workers", 0, "crypto worker pool size per party (0 = all cores, 1 = sequential)")
+	timeout := fs.Duration("timeout", 2*time.Minute, "per-operation send/receive deadline for every party (0 disables)")
+	retries := fs.Int("retries", 5, "dial attempts to reach the mediator (backoff between attempts)")
 	csvOut := fs.String("csv", "", "write the result as CSV to this file instead of stdout")
 	var credPaths stringList
 	fs.Var(&credPaths, "cred", "credential JSON file (repeatable)")
@@ -139,6 +142,7 @@ func runQuery(args []string) error {
 		PaillierBits: *paillierBits,
 		Buckets:      *buckets,
 		Workers:      *workers,
+		Timeout:      *timeout,
 	}
 	if *payload == "hybrid" {
 		params.PayloadMode = mediation.PayloadHybrid
@@ -146,7 +150,7 @@ func runQuery(args []string) error {
 		return fmt.Errorf("unknown payload mode %q", *payload)
 	}
 
-	conn, err := transport.Dial(*mediatorAddr)
+	conn, err := transport.DialRetry(*mediatorAddr, transport.RetryPolicy{Attempts: *retries})
 	if err != nil {
 		return err
 	}

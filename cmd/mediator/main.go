@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"log"
 	"strings"
+	"time"
 
 	"github.com/secmediation/secmediation/internal/mediation"
 	"github.com/secmediation/secmediation/internal/relation"
@@ -36,12 +37,19 @@ func (s *stringList) Set(v string) error {
 	return nil
 }
 
+// dialSource opens one link to a datasource; main swaps in a retrying
+// dialer once the flags are parsed.
+var dialSource = transport.Dial
+
 func main() {
 	listen := flag.String("listen", ":7100", "listen address")
 	var routes, hints stringList
 	flag.Var(&routes, "route", `relation route as "Rel=host:port;col:TYPE,col:TYPE" (repeatable)`)
 	flag.Var(&hints, "hint", "credential hint as Rel=propertyName (repeatable)")
 	telemetryAddr := flag.String("telemetry", "", "serve /metrics, /trace and /snapshot on this address (empty disables)")
+	timeout := flag.Duration("timeout", 2*time.Minute, "per-operation deadline on accepted client links before the request arrives (0 disables)")
+	maxMsg := flag.Int64("maxmsg", 0, "inbound message size limit in bytes (0 = default 256 MiB)")
+	retries := flag.Int("retries", 5, "dial attempts per datasource link (backoff between attempts)")
 	flag.Parse()
 
 	med, err := buildMediator(routes, hints)
@@ -53,10 +61,13 @@ func main() {
 		telemetry.Serve(*telemetryAddr, med.Telemetry)
 		log.Printf("telemetry endpoints at http://%s/metrics", *telemetryAddr)
 	}
+	pol := transport.RetryPolicy{Attempts: *retries, Telemetry: med.Telemetry}
+	dialSource = func(addr string) (transport.Conn, error) { return transport.DialRetry(addr, pol) }
 	l, err := transport.Listen(*listen)
 	if err != nil {
 		log.Fatalf("mediator: %v", err)
 	}
+	l.MaxMessage = *maxMsg
 	log.Printf("mediator serving %d relation route(s) at %s", len(med.Routes), l.Addr())
 	for {
 		conn, err := l.Accept()
@@ -65,6 +76,9 @@ func main() {
 		}
 		go func() {
 			defer conn.Close()
+			// Bound the wait for the request itself; once it arrives, its
+			// Params.Timeout (the client's choice) re-arms the link.
+			conn.SetTimeout(*timeout)
 			if err := med.HandleSession(conn); err != nil {
 				log.Printf("session: %v", err)
 			}
@@ -93,7 +107,7 @@ func buildMediator(routes, hints stringList) (*mediation.Mediator, error) {
 		}
 		med.Schemas[relName] = schema
 		target := addr
-		med.Routes[relName] = func() (transport.Conn, error) { return transport.Dial(target) }
+		med.Routes[relName] = func() (transport.Conn, error) { return dialSource(target) }
 	}
 	if len(med.Routes) == 0 {
 		return nil, fmt.Errorf("at least one -route is required")

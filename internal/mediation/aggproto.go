@@ -88,7 +88,7 @@ func (s *Source) serveAggregate(conn transport.Conn, pq *PartialQuery, rel *rela
 	if err != nil {
 		return err
 	}
-	return sendMsg(conn, msgAggPartial, out)
+	return sendMsg(conn, "mediator", msgAggPartial, out)
 }
 
 // fixedPoint encodes an INT or FLOAT value as a scaled integer.
@@ -129,9 +129,12 @@ func (m *Mediator) handleAggregate(client transport.Conn, req *Request, q *sqlpa
 	}
 	conn, err := dial()
 	if err != nil {
-		return err
+		return &ProtocolError{Party: "source:" + q.Left, Err: fmt.Errorf("dialing: %w", err)}
 	}
 	defer conn.Close()
+	if req.Params.Timeout > 0 {
+		conn.SetTimeout(req.Params.Timeout)
+	}
 	session, err := newSessionID()
 	if err != nil {
 		return err
@@ -146,18 +149,18 @@ func (m *Mediator) handleAggregate(client transport.Conn, req *Request, q *sqlpa
 		Protocol:    req.Protocol, Params: req.Params,
 		HomomorphicKey: req.HomomorphicKey, Aggregate: q.Aggregate,
 	}
-	if err := sendMsg(conn, msgPartialQuery, pq); err != nil {
+	if err := sendMsg(conn, "source:"+q.Left, msgPartialQuery, pq); err != nil {
 		return err
 	}
 	var ack PartialAck
-	if err := recvInto(conn, msgPartialAck, &ack); err != nil {
+	if err := recvInto(conn, "source:"+q.Left, msgPartialAck, &ack); err != nil {
 		return err
 	}
 	if !ack.Granted {
 		return fmt.Errorf("mediation: access to %s denied: %s", q.Left, ack.Reason)
 	}
 	var part aggPartial
-	if err := recvInto(conn, msgAggPartial, &part); err != nil {
+	if err := recvInto(conn, "source:"+q.Left, msgAggPartial, &part); err != nil {
 		return err
 	}
 	// The mediator learns only the row count.
@@ -184,14 +187,14 @@ func (m *Mediator) handleAggregate(client transport.Conn, req *Request, q *sqlpa
 	if err != nil {
 		return err
 	}
-	return sendMsg(client, msgAggResult, res)
+	return sendMsg(client, "client", msgAggResult, res)
 }
 
 // runAggregate is the client's side: decrypt E(Σ) and assemble the
 // one-row result relation.
 func (c *Client) runAggregate(conn transport.Conn, q *sqlparse.Query, params Params) (*relation.Relation, error) {
 	var res aggResult
-	if err := recvInto(conn, msgAggResult, &res); err != nil {
+	if err := recvInto(conn, "mediator", msgAggResult, &res); err != nil {
 		return nil, err
 	}
 	name := res.Func + "(" + res.Column + ")"

@@ -25,10 +25,10 @@ type ptResult struct {
 // and the cost floor in the Section 6 experiments.
 func (m *Mediator) mediatePlaintext(client, s1, s2 transport.Conn, d *decomposition, watch *stopwatch) error {
 	var w1, w2 wireRelation
-	if err := recvInto(s1, msgPTPartial, &w1); err != nil {
+	if err := recvInto(s1, "source:"+d.rel1, msgPTPartial, &w1); err != nil {
 		return err
 	}
-	if err := recvInto(s2, msgPTPartial, &w2); err != nil {
+	if err := recvInto(s2, "source:"+d.rel2, msgPTPartial, &w2); err != nil {
 		return err
 	}
 	var joined *relation.Relation
@@ -49,12 +49,12 @@ func (m *Mediator) mediatePlaintext(client, s1, s2 transport.Conn, d *decomposit
 	if err != nil {
 		return err
 	}
-	return sendMsg(client, msgPTResult, ptResult{Result: toWire(joined), Schema2: d.schema2, JoinCols2: d.joinCols2})
+	return sendMsg(client, "client", msgPTResult, ptResult{Result: toWire(joined), Schema2: d.schema2, JoinCols2: d.joinCols2})
 }
 
 func (c *Client) runPlaintext(conn transport.Conn) (*relation.Relation, relation.Schema, []string, error) {
 	var res ptResult
-	if err := recvInto(conn, msgPTResult, &res); err != nil {
+	if err := recvInto(conn, "mediator", msgPTResult, &res); err != nil {
 		return nil, relation.Schema{}, nil, err
 	}
 	out, err := fromWire(res.Result)
@@ -101,22 +101,22 @@ func (s *Source) serveMobileCode(conn transport.Conn, pq *PartialQuery, rel *rel
 	if err != nil {
 		return err
 	}
-	return sendMsg(conn, msgMCPartial, sessioned[mcPartial]{Session: pq.SessionID, Body: out})
+	return sendMsg(conn, "mediator", msgMCPartial, sessioned[mcPartial]{Session: pq.SessionID, Body: out})
 }
 
 func (m *Mediator) mediateMobileCode(client, s1, s2 transport.Conn, d *decomposition) error {
 	var p1, p2 sessioned[mcPartial]
-	if err := recvInto(s1, msgMCPartial, &p1); err != nil {
+	if err := recvInto(s1, "source:"+d.rel1, msgMCPartial, &p1); err != nil {
 		return err
 	}
-	if err := recvInto(s2, msgMCPartial, &p2); err != nil {
+	if err := recvInto(s2, "source:"+d.rel2, msgMCPartial, &p2); err != nil {
 		return err
 	}
 	// The mobile-code mediator sees the encrypted partial results whole:
 	// it learns both cardinalities (and forwards everything).
 	m.Ledger.Observe(leakage.PartyMediator, "|R1|", int64(len(p1.Body.Rows)))
 	m.Ledger.Observe(leakage.PartyMediator, "|R2|", int64(len(p2.Body.Rows)))
-	return sendMsg(client, msgMCResult, sessioned[mcResult]{
+	return sendMsg(client, "client", msgMCResult, sessioned[mcResult]{
 		Session: p1.Session,
 		Body:    mcResult{P1: p1.Body, P2: p2.Body, JoinCols1: d.joinCols1, JoinCols2: d.joinCols2},
 	})
@@ -124,7 +124,7 @@ func (m *Mediator) mediateMobileCode(client, s1, s2 transport.Conn, d *decomposi
 
 func (c *Client) runMobileCode(conn transport.Conn, watch *stopwatch) (*relation.Relation, relation.Schema, []string, error) {
 	var res sessioned[mcResult]
-	if err := recvInto(conn, msgMCResult, &res); err != nil {
+	if err := recvInto(conn, "mediator", msgMCResult, &res); err != nil {
 		return nil, relation.Schema{}, nil, err
 	}
 	var joined *relation.Relation

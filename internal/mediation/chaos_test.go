@@ -1,0 +1,184 @@
+package mediation
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"strconv"
+	"testing"
+	"time"
+
+	rel "github.com/secmediation/secmediation/internal/relation"
+	"github.com/secmediation/secmediation/internal/testutil"
+	"github.com/secmediation/secmediation/internal/transport"
+)
+
+// The chaos suite (`make chaos`) runs every protocol under every fault
+// class on a fixed seed and asserts the resilience contract: a faulted run
+// either produces the correct join or fails with a clean *ProtocolError,
+// always within the deadline, never leaking a goroutine.
+
+// chaosSeedDefault pins the fault schedule (which operations fault, which
+// byte a corruption flips) so the suite is reproducible run-over-run.
+const chaosSeedDefault = 20070415
+
+// chaosTimeout is the per-operation deadline every party arms during a
+// chaos run; a silent link is detected within it.
+const chaosTimeout = 2 * time.Second
+
+// chaosSeed returns the fixed schedule seed, overridable with CHAOS_SEED
+// to explore different fault positions.
+func chaosSeed(t testing.TB) uint64 {
+	t.Helper()
+	s := os.Getenv("CHAOS_SEED")
+	if s == "" {
+		return chaosSeedDefault
+	}
+	v, err := strconv.ParseUint(s, 10, 64)
+	if err != nil {
+		t.Fatalf("CHAOS_SEED=%q: %v", s, err)
+	}
+	return v
+}
+
+// faultRoute wraps the mediator's dialer for one relation so every link it
+// opens to that source runs through a fault injector with the given plan.
+func faultRoute(n *Network, relName string, plan *transport.FaultPlan) {
+	orig := n.Mediator.Routes[relName]
+	n.Mediator.Routes[relName] = func() (transport.Conn, error) {
+		c, err := orig()
+		if err != nil {
+			return nil, err
+		}
+		return transport.WrapFault(c, plan), nil
+	}
+}
+
+// chaosProtocols is the full protocol matrix.
+var chaosProtocols = []Protocol{
+	ProtocolPlaintext, ProtocolMobileCode, ProtocolDAS, ProtocolCommutative, ProtocolPM,
+}
+
+// TestChaosMatrix injects each fault class into the mediator↔source-of-R1
+// link of each protocol. The faulted operations (send op 1, recv op 1 on
+// the mediator side) land mid-protocol: after the partial-query/ack
+// handshake, inside the delivery phase.
+func TestChaosMatrix(t *testing.T) {
+	seed := chaosSeed(t)
+	want := expectedJoin(t)
+	classes := []transport.FaultClass{
+		transport.FaultDrop, transport.FaultDelay, transport.FaultDuplicate,
+		transport.FaultCorrupt, transport.FaultTruncate, transport.FaultClose,
+	}
+	for _, proto := range chaosProtocols {
+		for _, class := range classes {
+			proto, class := proto, class
+			t.Run(fmt.Sprintf("%s/%s", proto, class), func(t *testing.T) {
+				snap := testutil.Snapshot()
+				n := newTestNetwork(t, nil)
+				faultRoute(n, "R1", &transport.FaultPlan{
+					Class: class, SendOp: 1, RecvOp: 1,
+					Seed: seed ^ uint64(proto)<<8 ^ uint64(class),
+				})
+				params := fastParams()
+				params.Timeout = chaosTimeout
+
+				var res *rel.Relation
+				err := testutil.WithinDeadline(t, 2*chaosTimeout, func() error {
+					var qerr error
+					res, qerr = n.Query(fixtureSQL, proto, params)
+					return qerr
+				})
+				if err != nil {
+					var pe *ProtocolError
+					if !errors.As(err, &pe) {
+						t.Fatalf("chaos error is not a *ProtocolError: %v", err)
+					}
+				}
+				switch class {
+				case transport.FaultDelay:
+					// A slow link is not a fault: the run must succeed.
+					if err != nil {
+						t.Fatalf("delayed run failed: %v", err)
+					}
+					if !res.EqualMultiset(want) {
+						t.Errorf("delayed run returned a wrong join")
+					}
+				case transport.FaultDrop, transport.FaultTruncate, transport.FaultClose:
+					// A lost message, a cut body or a dead link cannot
+					// produce the join; the run must abort cleanly.
+					if err == nil {
+						t.Fatalf("%s fault went unnoticed", class)
+					}
+				case transport.FaultDuplicate:
+					// A replay either desyncs the protocol (clean abort) or
+					// goes unread; a successful run must still be correct.
+					if err == nil && !res.EqualMultiset(want) {
+						t.Errorf("run with duplicated message returned a wrong join")
+					}
+				case transport.FaultCorrupt:
+					// Detection is protocol-dependent: ciphertext protocols
+					// reject (AEAD/decode) or drop the corrupted match —
+					// they never fabricate tuples. Plaintext carries no
+					// integrity at all (that is its point of comparison),
+					// so only clean termination is required there.
+					if err == nil && proto != ProtocolPlaintext && res.Len() > want.Len() {
+						t.Errorf("corrupted run fabricated tuples: %d > %d", res.Len(), want.Len())
+					}
+				}
+				n.SourceErrors() // drain; faulted runs may log source aborts
+				testutil.CheckGoroutines(t, snap)
+			})
+		}
+	}
+}
+
+// TestChaosClientLink faults the client↔mediator link for a sample of
+// protocols: the client must abort with a typed error and the mediator
+// must unwind (not hang waiting for a client that gave up).
+func TestChaosClientLink(t *testing.T) {
+	seed := chaosSeed(t)
+	cases := []struct {
+		proto  Protocol
+		class  transport.FaultClass
+		recvOp int // DAS clients receive two messages; comm/PM only one
+	}{
+		{ProtocolDAS, transport.FaultClose, 1},
+		{ProtocolCommutative, transport.FaultDrop, 0},
+		{ProtocolPM, transport.FaultTruncate, 0},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(fmt.Sprintf("%s/%s", tc.proto, tc.class), func(t *testing.T) {
+			snap := testutil.Snapshot()
+			n := newTestNetwork(t, nil)
+			clientSide, mediatorSide := transport.Pair()
+			done := make(chan struct{})
+			go func() {
+				defer close(done)
+				_ = n.Mediator.HandleSession(mediatorSide)
+				mediatorSide.Close()
+			}()
+			wrapped := transport.WrapFault(clientSide, &transport.FaultPlan{
+				Class: tc.class, SendOp: -1, RecvOp: tc.recvOp, Seed: seed,
+			})
+			params := fastParams()
+			params.Timeout = chaosTimeout
+			err := testutil.WithinDeadline(t, 2*chaosTimeout, func() error {
+				_, qerr := n.Client.Query(wrapped, fixtureSQL, tc.proto, params)
+				return qerr
+			})
+			clientSide.Close()
+			<-done
+			if err == nil {
+				t.Fatal("fault on the client link went unnoticed")
+			}
+			var pe *ProtocolError
+			if !errors.As(err, &pe) {
+				t.Errorf("untyped client-link error: %v", err)
+			}
+			n.SourceErrors()
+			testutil.CheckGoroutines(t, snap)
+		})
+	}
+}

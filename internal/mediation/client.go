@@ -67,11 +67,19 @@ func (c *Client) HomomorphicKey(bits int) (*paillier.PrivateKey, error) {
 // Query runs one global query through the mediator reachable over conn and
 // returns the global result. This drives Listing 1 step 1 plus the client
 // side of the selected delivery phase.
+// Query failures during the delivery phase surface as *ProtocolError
+// values attributing the abort to the party (and, when known, the phase)
+// where it originated — "mediator unreachable" and "source 2 died during
+// cross.encrypt" are distinguishable with errors.As. Local errors before
+// the request leaves (bad SQL, key generation) stay untyped.
 func (c *Client) Query(conn transport.Conn, sql string, proto Protocol, params Params) (*relation.Relation, error) {
 	params = params.withDefaults()
 	q, err := sqlparse.Parse(sql)
 	if err != nil {
 		return nil, err
+	}
+	if params.Timeout > 0 {
+		conn.SetTimeout(params.Timeout)
 	}
 	req := Request{SQL: sql, Credentials: c.Credentials, Protocol: proto, Params: params}
 	if proto == ProtocolPM || q.Aggregate != nil {
@@ -81,14 +89,22 @@ func (c *Client) Query(conn transport.Conn, sql string, proto Protocol, params P
 		}
 		req.HomomorphicKey = &hk.PublicKey
 	}
-	if err := sendMsg(conn, msgRequest, req); err != nil {
-		return nil, err
+	if err := sendMsg(conn, "mediator", msgRequest, req); err != nil {
+		return nil, c.abort(conn, params, err)
 	}
 	if q.Aggregate != nil {
-		return c.runAggregate(conn, q, params)
+		res, err := c.runAggregate(conn, q, params)
+		if err != nil {
+			return nil, c.abort(conn, params, err)
+		}
+		return res, nil
 	}
 	if q.UnionWith != "" {
-		return c.runUnion(conn, q)
+		res, err := c.runUnion(conn, q)
+		if err != nil {
+			return nil, c.abort(conn, params, err)
+		}
+		return res, nil
 	}
 	root := c.telemetry(params).Tracer(leakage.PartyClient).Start("session")
 	root.Annotate("protocol", proto.String())
@@ -113,10 +129,21 @@ func (c *Client) Query(conn transport.Conn, sql string, proto Protocol, params P
 		err = fmt.Errorf("mediation: unknown protocol %d", proto)
 	}
 	if err != nil {
-		return nil, err
+		return nil, c.abort(conn, params, err)
 	}
 	c.recordTraffic(conn, c.telemetry(params))
 	return postProcess(q, joined, schema2, joinCols2)
+}
+
+// abort finalizes a failed delivery phase: the error is attributed (a
+// *ProtocolError blamed on this client unless the chain already carries
+// the origin), counted when it is a timeout, and best-effort reported to
+// the mediator so the remaining parties unblock immediately.
+func (c *Client) abort(conn transport.Conn, params Params, err error) error {
+	err = attribute(leakage.PartyClient, "", err)
+	countTimeout(c.telemetry(params), leakage.PartyClient, err)
+	sendError(conn, leakage.PartyClient, err)
+	return err
 }
 
 // telemetry resolves the registry for one query: the per-query override

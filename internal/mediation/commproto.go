@@ -117,13 +117,13 @@ func (s *Source) serveCommutative(conn transport.Conn, pq *PartialQuery, rel *re
 	if err != nil {
 		return err
 	}
-	if err := sendMsg(conn, msgCommOffer, offer); err != nil {
+	if err := sendMsg(conn, "mediator", msgCommOffer, offer); err != nil {
 		return err
 	}
 
 	// Steps 4–6: re-encrypt the opposite source's hash values.
 	var cross commCross
-	if err := recvInto(conn, msgCommCross, &cross); err != nil {
+	if err := recvInto(conn, "mediator", msgCommCross, &cross); err != nil {
 		return err
 	}
 	var back commCross
@@ -148,7 +148,7 @@ func (s *Source) serveCommutative(conn transport.Conn, pq *PartialQuery, rel *re
 	if err != nil {
 		return err
 	}
-	return sendMsg(conn, msgCommCrossBack, back)
+	return sendMsg(conn, "mediator", msgCommCrossBack, back)
 }
 
 // mediateCommutative implements the mediator's role: exchange the message
@@ -157,10 +157,10 @@ func (s *Source) serveCommutative(conn transport.Conn, pq *PartialQuery, rel *re
 // assemble the result messages (step 7).
 func (m *Mediator) mediateCommutative(client, s1, s2 transport.Conn, d *decomposition, params Params, watch *stopwatch) error {
 	var o1, o2 commOffer
-	if err := recvInto(s1, msgCommOffer, &o1); err != nil {
+	if err := recvInto(s1, "source:"+d.rel1, msgCommOffer, &o1); err != nil {
 		return err
 	}
-	if err := recvInto(s2, msgCommOffer, &o2); err != nil {
+	if err := recvInto(s2, "source:"+d.rel2, msgCommOffer, &o2); err != nil {
 		return err
 	}
 	// Table 1: the mediator learns both active-domain sizes.
@@ -175,17 +175,17 @@ func (m *Mediator) mediateCommutative(client, s1, s2 transport.Conn, d *decompos
 		store1, cross2.Items = stripPayloads(o1.Items)
 		store2, cross1.Items = stripPayloads(o2.Items)
 	}
-	if err := sendMsg(s1, msgCommCross, cross1); err != nil {
+	if err := sendMsg(s1, "source:"+d.rel1, msgCommCross, cross1); err != nil {
 		return err
 	}
-	if err := sendMsg(s2, msgCommCross, cross2); err != nil {
+	if err := sendMsg(s2, "source:"+d.rel2, msgCommCross, cross2); err != nil {
 		return err
 	}
 	var b1, b2 commCross
-	if err := recvInto(s1, msgCommCrossBack, &b1); err != nil {
+	if err := recvInto(s1, "source:"+d.rel1, msgCommCrossBack, &b1); err != nil {
 		return err
 	}
-	if err := recvInto(s2, msgCommCrossBack, &b2); err != nil {
+	if err := recvInto(s2, "source:"+d.rel2, msgCommCrossBack, &b2); err != nil {
 		return err
 	}
 
@@ -247,7 +247,7 @@ func (m *Mediator) mediateCommutative(client, s1, s2 transport.Conn, d *decompos
 	if err != nil {
 		return err
 	}
-	return sendMsg(client, msgCommResult, res)
+	return sendMsg(client, "client", msgCommResult, res)
 }
 
 // runCommutative implements the client's step 8: decrypt the matched tuple
@@ -255,7 +255,7 @@ func (m *Mediator) mediateCommutative(client, s1, s2 transport.Conn, d *decompos
 // value).
 func (c *Client) runCommutative(conn transport.Conn, params Params, watch *stopwatch) (*relation.Relation, relation.Schema, []string, error) {
 	var res commResult
-	if err := recvInto(conn, msgCommResult, &res); err != nil {
+	if err := recvInto(conn, "mediator", msgCommResult, &res); err != nil {
 		return nil, relation.Schema{}, nil, err
 	}
 	var joined *relation.Relation

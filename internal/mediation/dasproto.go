@@ -100,7 +100,7 @@ func (s *Source) serveDAS(conn transport.Conn, pq *PartialQuery, rel *relation.R
 	if err != nil {
 		return err
 	}
-	return sendMsg(conn, msgDASPartial, out)
+	return sendMsg(conn, "mediator", msgDASPartial, out)
 }
 
 // mediateDAS implements the mediator's role: forward the encrypted index
@@ -108,17 +108,17 @@ func (s *Source) serveDAS(conn transport.Conn, pq *PartialQuery, rel *relation.R
 // evaluate it over the encrypted partial results and return R_C (step 6).
 func (m *Mediator) mediateDAS(client, s1, s2 transport.Conn, d *decomposition, watch *stopwatch) error {
 	var p1, p2 dasPartial
-	if err := recvInto(s1, msgDASPartial, &p1); err != nil {
+	if err := recvInto(s1, "source:"+d.rel1, msgDASPartial, &p1); err != nil {
 		return err
 	}
-	if err := recvInto(s2, msgDASPartial, &p2); err != nil {
+	if err := recvInto(s2, "source:"+d.rel2, msgDASPartial, &p2); err != nil {
 		return err
 	}
 	// Table 1: the mediator learns the partial result cardinalities.
 	m.Ledger.Observe(leakage.PartyMediator, "|R1|", int64(p1.EncRel.Len()))
 	m.Ledger.Observe(leakage.PartyMediator, "|R2|", int64(p2.EncRel.Len()))
 
-	if err := sendMsg(client, msgDASIndexTables, dasIndexTables{
+	if err := sendMsg(client, "client", msgDASIndexTables, dasIndexTables{
 		Session: p1.Session,
 		Schema1: p1.Schema, Schema2: p2.Schema,
 		JoinCols1: d.joinCols1, JoinCols2: d.joinCols2,
@@ -129,7 +129,7 @@ func (m *Mediator) mediateDAS(client, s1, s2 transport.Conn, d *decomposition, w
 		return err
 	}
 	var sq dasServerQuery
-	if err := recvInto(client, msgDASServerQuery, &sq); err != nil {
+	if err := recvInto(client, "client", msgDASServerQuery, &sq); err != nil {
 		return err
 	}
 	if n := len(sq.Query.Filters1) + len(sq.Query.Filters2); n > 0 {
@@ -148,7 +148,7 @@ func (m *Mediator) mediateDAS(client, s1, s2 transport.Conn, d *decomposition, w
 	// Table 1: the mediator learns |R_C|, an upper bound of the global
 	// result size.
 	m.Ledger.Observe(leakage.PartyMediator, "|RC|", int64(len(res.Pairs)))
-	return sendMsg(client, msgDASResult, dasResult{Result: *res})
+	return sendMsg(client, "client", msgDASResult, dasResult{Result: *res})
 }
 
 // runDAS implements the client side (Listing 2 steps 5 and 7): decrypt the
@@ -156,7 +156,7 @@ func (m *Mediator) mediateDAS(client, s1, s2 transport.Conn, d *decomposition, w
 // q_S, then decrypt R_C and apply q_C.
 func (c *Client) runDAS(conn transport.Conn, q *sqlparse.Query, params Params, watch *stopwatch) (*relation.Relation, relation.Schema, []string, error) {
 	var its dasIndexTables
-	if err := recvInto(conn, msgDASIndexTables, &its); err != nil {
+	if err := recvInto(conn, "mediator", msgDASIndexTables, &its); err != nil {
 		return nil, relation.Schema{}, nil, err
 	}
 	var recv1, recv2 *hybrid.Receiver
@@ -205,11 +205,11 @@ func (c *Client) runDAS(conn transport.Conn, q *sqlparse.Query, params Params, w
 	if err != nil {
 		return nil, relation.Schema{}, nil, err
 	}
-	if err := sendMsg(conn, msgDASServerQuery, dasServerQuery{Query: sq}); err != nil {
+	if err := sendMsg(conn, "mediator", msgDASServerQuery, dasServerQuery{Query: sq}); err != nil {
 		return nil, relation.Schema{}, nil, err
 	}
 	var res dasResult
-	if err := recvInto(conn, msgDASResult, &res); err != nil {
+	if err := recvInto(conn, "mediator", msgDASResult, &res); err != nil {
 		return nil, relation.Schema{}, nil, err
 	}
 	var joined *relation.Relation

@@ -45,17 +45,24 @@ type Mediator struct {
 func (m *Mediator) HandleSession(client transport.Conn) error {
 	err := m.handleSession(client)
 	if err != nil {
-		sendError(client, err)
+		err = attribute(leakage.PartyMediator, "", err)
+		countTimeout(m.Telemetry, leakage.PartyMediator, err)
+		sendError(client, leakage.PartyMediator, err)
 	}
 	return err
 }
 
 func (m *Mediator) handleSession(client transport.Conn) error {
 	var req Request
-	if err := recvInto(client, msgRequest, &req); err != nil {
+	if err := recvInto(client, "client", msgRequest, &req); err != nil {
 		return err
 	}
 	req.Params = req.Params.withDefaults()
+	// Arm the client link with the request's per-operation deadline; the
+	// source links are armed right after dialing.
+	if req.Params.Timeout > 0 {
+		client.SetTimeout(req.Params.Timeout)
+	}
 
 	// Aggregation and union queries take their own paths (aggproto.go,
 	// unionproto.go).
@@ -101,14 +108,18 @@ func (m *Mediator) handleSession(client transport.Conn) error {
 	}
 	conn1, err := dial1()
 	if err != nil {
-		return fmt.Errorf("mediation: dialing source of %s: %w", d.rel1, err)
+		return &ProtocolError{Party: "source:" + d.rel1, Err: fmt.Errorf("dialing: %w", err)}
 	}
 	defer conn1.Close()
 	conn2, err := dial2()
 	if err != nil {
-		return fmt.Errorf("mediation: dialing source of %s: %w", d.rel2, err)
+		return &ProtocolError{Party: "source:" + d.rel2, Err: fmt.Errorf("dialing: %w", err)}
 	}
 	defer conn2.Close()
+	if req.Params.Timeout > 0 {
+		conn1.SetTimeout(req.Params.Timeout)
+		conn2.SetTimeout(req.Params.Timeout)
+	}
 
 	session, err := newSessionID()
 	if err != nil {
@@ -133,17 +144,21 @@ func (m *Mediator) handleSession(client transport.Conn) error {
 		pq1.FilterCols = filterColumns(extractPushdown(d.query.Where, m.Schemas[d.rel1]), d.joinCols1)
 		pq2.FilterCols = filterColumns(extractPushdown(d.query.Where, m.Schemas[d.rel2]), d.joinCols2)
 	}
-	if err := sendMsg(conn1, msgPartialQuery, pq1); err != nil {
+	if err := sendMsg(conn1, "source:"+d.rel1, msgPartialQuery, pq1); err != nil {
+		abortLinks(err, conn2)
 		return err
 	}
-	if err := sendMsg(conn2, msgPartialQuery, pq2); err != nil {
+	if err := sendMsg(conn2, "source:"+d.rel2, msgPartialQuery, pq2); err != nil {
+		abortLinks(err, conn1)
 		return err
 	}
 	var ack1, ack2 PartialAck
-	if err := recvInto(conn1, msgPartialAck, &ack1); err != nil {
+	if err := recvInto(conn1, "source:"+d.rel1, msgPartialAck, &ack1); err != nil {
+		abortLinks(err, conn2)
 		return err
 	}
-	if err := recvInto(conn2, msgPartialAck, &ack2); err != nil {
+	if err := recvInto(conn2, "source:"+d.rel2, msgPartialAck, &ack2); err != nil {
+		abortLinks(err, conn1)
 		return err
 	}
 	if !ack1.Granted {
@@ -173,8 +188,7 @@ func (m *Mediator) handleSession(client transport.Conn) error {
 	}
 	if err != nil {
 		// Unblock sources that may still be waiting mid-protocol.
-		sendError(conn1, err)
-		sendError(conn2, err)
+		abortLinks(err, conn1, conn2)
 		return err
 	}
 	m.recordTraffic(client, conn1, conn2)

@@ -98,12 +98,12 @@ func (s *Source) servePM(conn transport.Conn, pq *PartialQuery, rel *relation.Re
 	if err != nil {
 		return err
 	}
-	if err := sendMsg(conn, msgPMCoeffs, coeffs); err != nil {
+	if err := sendMsg(conn, "mediator", msgPMCoeffs, coeffs); err != nil {
 		return err
 	}
 
 	var cross pmCross
-	if err := recvInto(conn, msgPMCross, &cross); err != nil {
+	if err := recvInto(conn, "mediator", msgPMCross, &cross); err != nil {
 		return err
 	}
 	var evals pmEvals
@@ -172,7 +172,7 @@ func (s *Source) servePM(conn transport.Conn, pq *PartialQuery, rel *relation.Re
 	if err != nil {
 		return err
 	}
-	return sendMsg(conn, msgPMEvals, evals)
+	return sendMsg(conn, "mediator", msgPMEvals, evals)
 }
 
 // mediatePM implements the mediator's role: forward the encrypted
@@ -181,10 +181,10 @@ func (s *Source) servePM(conn transport.Conn, pq *PartialQuery, rel *relation.Re
 // anything; it only observes polynomial degrees.
 func (m *Mediator) mediatePM(client, s1, s2 transport.Conn, d *decomposition, params Params, watch *stopwatch) error {
 	var c1, c2 pmCoeffs
-	if err := recvInto(s1, msgPMCoeffs, &c1); err != nil {
+	if err := recvInto(s1, "source:"+d.rel1, msgPMCoeffs, &c1); err != nil {
 		return err
 	}
-	if err := recvInto(s2, msgPMCoeffs, &c2); err != nil {
+	if err := recvInto(s2, "source:"+d.rel2, msgPMCoeffs, &c2); err != nil {
 		return err
 	}
 	// Table 1: the mediator learns the polynomial degrees, hence the
@@ -192,20 +192,20 @@ func (m *Mediator) mediatePM(client, s1, s2 transport.Conn, d *decomposition, pa
 	m.Ledger.Observe(leakage.PartyMediator, "|domactive(R1.Ajoin)|", totalDegree(&c1.Buckets))
 	m.Ledger.Observe(leakage.PartyMediator, "|domactive(R2.Ajoin)|", totalDegree(&c2.Buckets))
 
-	if err := sendMsg(s1, msgPMCross, pmCross{Buckets: c2.Buckets}); err != nil {
+	if err := sendMsg(s1, "source:"+d.rel1, msgPMCross, pmCross{Buckets: c2.Buckets}); err != nil {
 		return err
 	}
-	if err := sendMsg(s2, msgPMCross, pmCross{Buckets: c1.Buckets}); err != nil {
+	if err := sendMsg(s2, "source:"+d.rel2, msgPMCross, pmCross{Buckets: c1.Buckets}); err != nil {
 		return err
 	}
 	var e1, e2 pmEvals
-	if err := recvInto(s1, msgPMEvals, &e1); err != nil {
+	if err := recvInto(s1, "source:"+d.rel1, msgPMEvals, &e1); err != nil {
 		return err
 	}
-	if err := recvInto(s2, msgPMEvals, &e2); err != nil {
+	if err := recvInto(s2, "source:"+d.rel2, msgPMEvals, &e2); err != nil {
 		return err
 	}
-	return sendMsg(client, msgPMResult, pmResult{
+	return sendMsg(client, "client", msgPMResult, pmResult{
 		Session: c1.Session,
 		Schema1: c1.Schema, Schema2: c2.Schema,
 		JoinCols1: d.joinCols1, JoinCols2: d.joinCols2,
@@ -231,7 +231,7 @@ type pmSide map[string][]relation.Tuple
 // cross-combine the tuple sets.
 func (c *Client) runPM(conn transport.Conn, params Params, watch *stopwatch) (*relation.Relation, relation.Schema, []string, error) {
 	var res pmResult
-	if err := recvInto(conn, msgPMResult, &res); err != nil {
+	if err := recvInto(conn, "mediator", msgPMResult, &res); err != nil {
 		return nil, relation.Schema{}, nil, err
 	}
 	hk, err := c.HomomorphicKey(params.PaillierBits)

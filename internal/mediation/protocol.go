@@ -22,6 +22,7 @@
 package mediation
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -125,6 +126,14 @@ type Params struct {
 	// protocol listings describe. Transcripts are order-preserving, so
 	// the value never changes protocol results — only wall-clock time.
 	Workers int
+	// Timeout bounds every single Send/Recv a party performs for this
+	// query (via transport.Conn.SetTimeout); it travels in the request so
+	// mediator and sources arm the same per-operation deadline. Zero (the
+	// default) disables deadlines — single-process runs and tests that
+	// never lose a party need none. The cmd binaries set a sane default.
+	// A timed-out operation aborts the protocol with a *ProtocolError
+	// wrapping transport.ErrTimeout.
+	Timeout time.Duration
 	// Telemetry optionally records phase spans and metrics for the query.
 	// It is a per-query override of the Client's Telemetry field; the
 	// registry is deliberately gob-inert, so it never crosses a transport
@@ -193,15 +202,76 @@ const (
 	msgPTResult  = "pt.result"
 )
 
-// errorBody is the payload of msgError.
+// ProtocolError is the typed abort error every party surfaces when a
+// delivery-phase run fails: it attributes the failure to the party where
+// it originated (leakage party naming: "client", "mediator", "source:S1",
+// or the mediator's relation-addressed "source:R1" for links whose source
+// name is unknown) and, when known, the protocol phase that was active
+// there. Callers unwrap the cause with errors.Is/As — a dead peer's
+// timeout matches transport.ErrTimeout.
+type ProtocolError struct {
+	// Party is where the failure originated (or the peer behind the link
+	// that failed, when the party itself is unreachable).
+	Party string
+	// Phase is the telemetry phase active at the origin, when known
+	// (e.g. "cross.encrypt").
+	Phase string
+	// Err is the underlying cause.
+	Err error
+}
+
+// Error implements error.
+func (e *ProtocolError) Error() string {
+	if e.Phase != "" {
+		return fmt.Sprintf("mediation: %s failed during %s: %v", e.Party, e.Phase, e.Err)
+	}
+	return fmt.Sprintf("mediation: %s failed: %v", e.Party, e.Err)
+}
+
+// Unwrap supports errors.Is/As on the cause.
+func (e *ProtocolError) Unwrap() error { return e.Err }
+
+// attribute wraps err as a *ProtocolError blamed on party/phase, unless
+// the chain already carries an attribution (the origin wins: a mediator
+// relaying a source's failure must not re-blame itself).
+func attribute(party, phase string, err error) error {
+	if err == nil {
+		return nil
+	}
+	var pe *ProtocolError
+	if errors.As(err, &pe) {
+		return err
+	}
+	return &ProtocolError{Party: party, Phase: phase, Err: err}
+}
+
+// countTimeout bumps the party's mediation_timeouts counter when err is a
+// deadline expiry. Nil-safe on the registry.
+func countTimeout(reg *telemetry.Registry, party string, err error) {
+	if reg.Enabled() && errors.Is(err, transport.ErrTimeout) {
+		reg.Counter("mediation_timeouts", "party", party).Add(1)
+	}
+}
+
+// errorBody is the payload of msgError: the originating party and phase
+// travel with the message so every survivor reports the same attribution.
 type errorBody struct {
+	Party   string
+	Phase   string
 	Message string
 }
 
 // sendError best-effort reports a failure to a peer so it can abort
-// instead of hanging.
-func sendError(conn transport.Conn, err error) {
-	m, e := transport.NewMessage(msgError, errorBody{Message: err.Error()})
+// instead of hanging. The from party names the sender; when err already
+// carries a *ProtocolError attribution, the origin's party/phase are
+// forwarded unchanged.
+func sendError(conn transport.Conn, from string, err error) {
+	body := errorBody{Party: from, Message: err.Error()}
+	var pe *ProtocolError
+	if errors.As(err, &pe) {
+		body.Party, body.Phase, body.Message = pe.Party, pe.Phase, pe.Err.Error()
+	}
+	m, e := transport.NewMessage(msgError, body)
 	if e != nil {
 		return
 	}
@@ -213,42 +283,84 @@ func sendError(conn transport.Conn, err error) {
 	}
 }
 
-// recvExpect receives the next message, turning msgError payloads into
-// errors and enforcing the expected type tag.
-func recvExpect(conn transport.Conn, typ string) (transport.Message, error) {
+// abortLinks best-effort propagates err as msgError on every live link,
+// so peers blocked mid-protocol abort immediately instead of waiting out
+// their deadline. Used by the mediator, the only party with more than one
+// link.
+func abortLinks(err error, conns ...transport.Conn) {
+	for _, c := range conns {
+		sendError(c, leakage.PartyMediator, err)
+	}
+}
+
+// recvExpect receives the next message, turning msgError payloads and
+// link failures into *ProtocolError aborts and enforcing the expected
+// type tag. The peer name attributes link failures: a dead or silent link
+// is blamed on the party at its far end.
+func recvExpect(conn transport.Conn, peer, typ string) (transport.Message, error) {
 	m, err := conn.Recv()
 	if err != nil {
-		return transport.Message{}, err
+		return transport.Message{}, &ProtocolError{
+			Party: peer,
+			Err:   fmt.Errorf("link failed awaiting %q: %w", typ, err),
+		}
 	}
 	if m.Type == msgError {
 		var body errorBody
 		if err := transport.Decode(m.Body, &body); err != nil {
-			return transport.Message{}, fmt.Errorf("mediation: peer error (undecodable)")
+			return transport.Message{}, &ProtocolError{
+				Party: peer,
+				Err:   fmt.Errorf("peer error (undecodable)"),
+			}
 		}
-		return transport.Message{}, fmt.Errorf("mediation: peer error: %s", body.Message)
+		party := body.Party
+		if party == "" {
+			party = peer
+		}
+		return transport.Message{}, &ProtocolError{
+			Party: party,
+			Phase: body.Phase,
+			Err:   fmt.Errorf("peer error: %s", body.Message),
+		}
 	}
 	if m.Type != typ {
-		return transport.Message{}, fmt.Errorf("mediation: expected %q, got %q", typ, m.Type)
+		return transport.Message{}, &ProtocolError{
+			Party: peer,
+			Err:   fmt.Errorf("expected %q, got %q", typ, m.Type),
+		}
 	}
 	return m, nil
 }
 
-// sendMsg encodes and sends a payload in one step.
-func sendMsg(conn transport.Conn, typ string, v any) error {
+// sendMsg encodes and sends a payload in one step. Send failures become
+// *ProtocolError aborts attributed to the peer behind the link.
+func sendMsg(conn transport.Conn, peer, typ string, v any) error {
 	m, err := transport.NewMessage(typ, v)
 	if err != nil {
 		return err
 	}
-	return conn.Send(m)
+	if err := conn.Send(m); err != nil {
+		return &ProtocolError{
+			Party: peer,
+			Err:   fmt.Errorf("sending %q: %w", typ, err),
+		}
+	}
+	return nil
 }
 
 // recvInto receives a message of the given type and decodes its body.
-func recvInto(conn transport.Conn, typ string, v any) error {
-	m, err := recvExpect(conn, typ)
+func recvInto(conn transport.Conn, peer, typ string, v any) error {
+	m, err := recvExpect(conn, peer, typ)
 	if err != nil {
 		return err
 	}
-	return transport.Decode(m.Body, v)
+	if err := transport.Decode(m.Body, v); err != nil {
+		return &ProtocolError{
+			Party: peer,
+			Err:   fmt.Errorf("decoding %q: %w", typ, err),
+		}
+	}
+	return nil
 }
 
 // stopwatch accumulates a party's active compute time into the ledger
@@ -282,12 +394,14 @@ func (s *stopwatch) track(f func() error) error {
 
 // phase runs f as one named telemetry phase (a child span of the attached
 // root) while also accumulating compute time like track. With no root
-// attached the span calls are nil no-ops.
+// attached the span calls are nil no-ops. A failing phase aborts the
+// protocol: the error is attributed to this party and phase (unless it
+// already carries an origin attribution from a peer).
 func (s *stopwatch) phase(name string, f func() error) error {
 	sp := s.root.Start(name)
 	err := s.track(f)
 	sp.End()
-	return err
+	return attribute(s.party, name, err)
 }
 
 // trafficGauges exports one endpoint's transport counters as telemetry

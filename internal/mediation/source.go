@@ -53,18 +53,22 @@ func (s *Source) now() time.Time {
 // failure).
 func (s *Source) Serve(conn transport.Conn) error {
 	var pq PartialQuery
-	if err := recvInto(conn, msgPartialQuery, &pq); err != nil {
+	if err := recvInto(conn, "mediator", msgPartialQuery, &pq); err != nil {
 		return fmt.Errorf("mediation: source %s: %w", s.Name, err)
+	}
+	// Arm the mediator link with the query's per-operation deadline so a
+	// dead mediator cannot park this session forever.
+	if pq.Params.Timeout > 0 {
+		conn.SetTimeout(pq.Params.Timeout)
 	}
 	rel, clientKey, denyReason, err := s.executePartial(&pq)
 	if err != nil {
-		sendError(conn, err)
-		return fmt.Errorf("mediation: source %s: %w", s.Name, err)
+		return s.abort(conn, err)
 	}
 	if denyReason != "" {
-		return sendMsg(conn, msgPartialAck, PartialAck{Granted: false, Reason: denyReason})
+		return sendMsg(conn, "mediator", msgPartialAck, PartialAck{Granted: false, Reason: denyReason})
 	}
-	if err := sendMsg(conn, msgPartialAck, PartialAck{Granted: true, Schema: rel.Schema()}); err != nil {
+	if err := sendMsg(conn, "mediator", msgPartialAck, PartialAck{Granted: true, Schema: rel.Schema()}); err != nil {
 		return err
 	}
 	root := s.Telemetry.Tracer(s.party()).Start("session")
@@ -76,15 +80,13 @@ func (s *Source) Serve(conn transport.Conn) error {
 	watch.attach(root)
 	if pq.Union {
 		if err := s.serveMobileCode(conn, &pq, rel, clientKey, watch); err != nil {
-			sendError(conn, err)
-			return fmt.Errorf("mediation: source %s: %w", s.Name, err)
+			return s.abort(conn, err)
 		}
 		return nil
 	}
 	if pq.Aggregate != nil {
 		if err := s.serveAggregate(conn, &pq, rel, watch); err != nil {
-			sendError(conn, err)
-			return fmt.Errorf("mediation: source %s: %w", s.Name, err)
+			return s.abort(conn, err)
 		}
 		return nil
 	}
@@ -103,10 +105,18 @@ func (s *Source) Serve(conn transport.Conn) error {
 		err = fmt.Errorf("unknown protocol %d", pq.Protocol)
 	}
 	if err != nil {
-		sendError(conn, err)
-		return fmt.Errorf("mediation: source %s: %w", s.Name, err)
+		return s.abort(conn, err)
 	}
 	return nil
+}
+
+// abort reports err to the mediator (attributed to this source unless the
+// chain already carries an origin) and returns the wrapped session error.
+func (s *Source) abort(conn transport.Conn, err error) error {
+	err = attribute(s.party(), "", err)
+	countTimeout(s.Telemetry, s.party(), err)
+	sendError(conn, s.party(), err)
+	return fmt.Errorf("mediation: source %s: %w", s.Name, err)
 }
 
 // executePartial runs Listing 1 step 4: credential check, then execution
@@ -152,5 +162,5 @@ func (s *Source) executePartial(pq *PartialQuery) (*relation.Relation, *rsa.Publ
 // servePlaintext ships the partial result in the clear (trusted-mediator
 // baseline).
 func (s *Source) servePlaintext(conn transport.Conn, rel *relation.Relation) error {
-	return sendMsg(conn, msgPTPartial, toWire(rel))
+	return sendMsg(conn, "mediator", msgPTPartial, toWire(rel))
 }

@@ -54,40 +54,45 @@ func (m *Mediator) handleUnion(client transport.Conn, req *Request, q *sqlparse.
 	}
 	conn1, err := open(q.Left)
 	if err != nil {
-		return err
+		return &ProtocolError{Party: "source:" + q.Left, Err: fmt.Errorf("dialing: %w", err)}
 	}
 	defer conn1.Close()
 	conn2, err := open(q.UnionWith)
 	if err != nil {
-		return err
+		return &ProtocolError{Party: "source:" + q.UnionWith, Err: fmt.Errorf("dialing: %w", err)}
 	}
 	defer conn2.Close()
+	if req.Params.Timeout > 0 {
+		conn1.SetTimeout(req.Params.Timeout)
+		conn2.SetTimeout(req.Params.Timeout)
+	}
 
 	ask := func(conn transport.Conn, rel string) (mcPartial, error) {
+		peer := "source:" + rel
 		pq := PartialQuery{
 			SessionID: session, Query: "SELECT * FROM " + rel, Relation: rel,
 			Credentials: m.selectCredentials(rel, req.Credentials),
 			Protocol:    ProtocolMobileCode, Params: req.Params, Union: true,
 		}
-		if err := sendMsg(conn, msgPartialQuery, pq); err != nil {
+		if err := sendMsg(conn, peer, msgPartialQuery, pq); err != nil {
 			return mcPartial{}, err
 		}
 		var ack PartialAck
-		if err := recvInto(conn, msgPartialAck, &ack); err != nil {
+		if err := recvInto(conn, peer, msgPartialAck, &ack); err != nil {
 			return mcPartial{}, err
 		}
 		if !ack.Granted {
 			return mcPartial{}, fmt.Errorf("mediation: access to %s denied: %s", rel, ack.Reason)
 		}
 		var part sessioned[mcPartial]
-		if err := recvInto(conn, msgMCPartial, &part); err != nil {
+		if err := recvInto(conn, peer, msgMCPartial, &part); err != nil {
 			return mcPartial{}, err
 		}
 		return part.Body, nil
 	}
 	p1, err := ask(conn1, q.Left)
 	if err != nil {
-		sendError(conn2, err)
+		abortLinks(err, conn2)
 		return err
 	}
 	p2, err := ask(conn2, q.UnionWith)
@@ -97,14 +102,14 @@ func (m *Mediator) handleUnion(client transport.Conn, req *Request, q *sqlparse.
 	// The union mediator learns only the two cardinalities.
 	m.Ledger.Observe(leakage.PartyMediator, "|R1|", int64(len(p1.Rows)))
 	m.Ledger.Observe(leakage.PartyMediator, "|R2|", int64(len(p2.Rows)))
-	return sendMsg(client, msgUnionResult, unionResult{P1: p1, P2: p2, Session: session})
+	return sendMsg(client, "client", msgUnionResult, unionResult{P1: p1, P2: p2, Session: session})
 }
 
 // runUnion is the client's side: decrypt both partial results and apply
 // UNION (dedup) or UNION ALL (bag) semantics.
 func (c *Client) runUnion(conn transport.Conn, q *sqlparse.Query) (*relation.Relation, error) {
 	var res unionResult
-	if err := recvInto(conn, msgUnionResult, &res); err != nil {
+	if err := recvInto(conn, "mediator", msgUnionResult, &res); err != nil {
 		return nil, err
 	}
 	r1, err := c.openMCPartial(res.P1, res.Session)

@@ -53,7 +53,7 @@ type Analyzer struct {
 }
 
 // All lists every analyzer in the suite, in reporting order.
-var All = []*Analyzer{Weakrand, Subtlecmp, Secretfmt, Errdrop, Rawexp}
+var All = []*Analyzer{Weakrand, Subtlecmp, Secretfmt, Errdrop, Rawexp, Rawrecv}
 
 // Pass carries one (analyzer, package) unit of work.
 type Pass struct {

@@ -1,0 +1,135 @@
+// Package testutil holds shared test helpers. Its centerpiece is the
+// goroutine leak checker the resilience suite hangs every protocol-abort
+// assertion on: a protocol that fails cleanly must also unwind cleanly.
+package testutil
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+)
+
+// ignoredStacks marks goroutines that are part of the runtime or the
+// testing framework rather than code under test.
+var ignoredStacks = []string{
+	"testing.RunTests",
+	"testing.(*T).Run",
+	"testing.(*M).",
+	"testing.runTests",
+	"testing.tRunner",
+	"runtime.goexit",
+	"created by runtime.gc",
+	"runtime.MHeap_Scavenger",
+	"signal.signal_recv",
+	"sigterm.handler",
+	"runtime_mcall",
+	"(*loggingT).flushDaemon",
+	"goroutine in C code",
+	// The telemetry HTTP exporter keeps one accept loop per Serve call
+	// for the life of the process; it is opted into explicitly, not
+	// leaked by a protocol run.
+	"net/http.(*Server).Serve",
+}
+
+// interestingGoroutines returns the stacks of goroutines that are
+// neither the caller's nor framework noise.
+func interestingGoroutines() []string {
+	buf := make([]byte, 2<<20)
+	buf = buf[:runtime.Stack(buf, true)]
+	var out []string
+next:
+	for _, g := range strings.Split(string(buf), "\n\n") {
+		if g == "" || strings.Contains(g, "interestingGoroutines") {
+			continue
+		}
+		for _, ignored := range ignoredStacks {
+			if strings.Contains(g, ignored) {
+				continue next
+			}
+		}
+		out = append(out, strings.TrimSpace(g))
+	}
+	return out
+}
+
+// failer is the subset of testing.TB the checker needs (an interface so
+// the package itself stays test-framework-agnostic and self-testable).
+type failer interface {
+	Helper()
+	Errorf(format string, args ...any)
+}
+
+// Snapshotted is a baseline of live goroutines taken with Snapshot;
+// CheckGoroutines reports any goroutine born after it that refuses to
+// die.
+type Snapshotted struct {
+	before map[string]bool
+}
+
+// Snapshot records the currently live goroutines (by stack) so only
+// goroutines created afterwards count as leaks.
+func Snapshot() Snapshotted {
+	s := Snapshotted{before: map[string]bool{}}
+	for _, g := range interestingGoroutines() {
+		s.before[firstLine(g)] = true
+	}
+	return s
+}
+
+func firstLine(g string) string {
+	if i := strings.IndexByte(g, '\n'); i >= 0 {
+		return g[:i]
+	}
+	return g
+}
+
+// CheckGoroutines polls until every goroutine beyond those alive at
+// Snapshot time has drained, failing t with the surviving stacks on
+// timeout. Goroutines get a grace period to unwind (deferred closes,
+// worker-pool teardown) before they are reported. Call it via defer so
+// it runs after the code under test has fully returned:
+//
+//	defer testutil.CheckGoroutines(t, testutil.Snapshot())
+func CheckGoroutines(t failer, snap Snapshotted) {
+	t.Helper()
+	deadline := time.Now().Add(4 * time.Second)
+	var leaked []string
+	for {
+		leaked = leaked[:0]
+		for _, g := range interestingGoroutines() {
+			if !snap.before[firstLine(g)] {
+				leaked = append(leaked, g)
+			}
+		}
+		if len(leaked) == 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Errorf("%d goroutine(s) leaked:\n%s", len(leaked), strings.Join(leaked, "\n\n"))
+}
+
+// WithinDeadline runs f in a goroutine and fails if it has not returned
+// within d — the "typed error, not a hang" assertion of the resilience
+// suite. It returns f's error when f finishes in time.
+func WithinDeadline(t interface {
+	Helper()
+	Fatalf(format string, args ...any)
+}, d time.Duration, f func() error) error {
+	t.Helper()
+	done := make(chan error, 1)
+	go func() { done <- f() }()
+	select {
+	case err := <-done:
+		return err
+	case <-time.After(d):
+		buf := make([]byte, 1<<20)
+		buf = buf[:runtime.Stack(buf, true)]
+		t.Fatalf("still blocked after %v (want completion within the deadline)\n%s", d, buf)
+		return fmt.Errorf("unreachable")
+	}
+}

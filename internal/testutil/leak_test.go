@@ -1,0 +1,94 @@
+package testutil
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+// recorder implements failer, capturing Errorf calls instead of failing.
+type recorder struct {
+	failures []string
+}
+
+func (r *recorder) Helper() {}
+func (r *recorder) Errorf(format string, args ...any) {
+	r.failures = append(r.failures, format)
+}
+
+func TestCheckGoroutinesClean(t *testing.T) {
+	snap := Snapshot()
+	done := make(chan struct{})
+	go func() { close(done) }()
+	<-done
+	rec := &recorder{}
+	CheckGoroutines(rec, snap)
+	if len(rec.failures) != 0 {
+		t.Errorf("clean run reported leaks: %v", rec.failures)
+	}
+}
+
+func TestCheckGoroutinesDetectsLeak(t *testing.T) {
+	snap := Snapshot()
+	block := make(chan struct{})
+	go func() { <-block }()
+	rec := &recorder{}
+	start := time.Now()
+	CheckGoroutines(rec, snap)
+	close(block) // release the leaked goroutine before the next test
+	if len(rec.failures) == 0 {
+		t.Fatal("blocked goroutine not reported as a leak")
+	}
+	if !strings.Contains(rec.failures[0], "leaked") {
+		t.Errorf("unexpected failure message: %q", rec.failures[0])
+	}
+	if time.Since(start) < 3*time.Second {
+		t.Error("checker gave up before the grace period elapsed")
+	}
+}
+
+func TestCheckGoroutinesWaitsForSlowUnwind(t *testing.T) {
+	snap := Snapshot()
+	go time.Sleep(300 * time.Millisecond) // unwinds well inside the grace period
+	rec := &recorder{}
+	CheckGoroutines(rec, snap)
+	if len(rec.failures) != 0 {
+		t.Errorf("slow-but-finite goroutine reported as leak: %v", rec.failures)
+	}
+}
+
+func TestWithinDeadlineReturnsError(t *testing.T) {
+	want := errors.New("typed failure")
+	got := WithinDeadline(t, time.Second, func() error { return want })
+	if got != want {
+		t.Errorf("WithinDeadline = %v, want the function's error", got)
+	}
+}
+
+// fatalRecorder satisfies WithinDeadline's t parameter while capturing the
+// Fatalf that fires when the function overruns.
+type fatalRecorder struct {
+	fatals []string
+}
+
+func (r *fatalRecorder) Helper() {}
+func (r *fatalRecorder) Fatalf(format string, args ...any) {
+	r.fatals = append(r.fatals, format)
+}
+
+func TestWithinDeadlineFlagsHang(t *testing.T) {
+	block := make(chan struct{})
+	defer close(block)
+	rec := &fatalRecorder{}
+	WithinDeadline(rec, 50*time.Millisecond, func() error {
+		<-block
+		return nil
+	})
+	if len(rec.fatals) == 0 {
+		t.Fatal("hung function not reported")
+	}
+	if !strings.Contains(rec.fatals[0], "still blocked") {
+		t.Errorf("unexpected fatal message: %q", rec.fatals[0])
+	}
+}

@@ -1,0 +1,123 @@
+package transport
+
+import (
+	"fmt"
+	"hash/fnv"
+	"time"
+
+	"github.com/secmediation/secmediation/internal/telemetry"
+)
+
+// RetryPolicy configures DialRetry: capped exponential backoff with
+// deterministic, seeded jitter. The zero value is usable; every field
+// falls back to a sane default (see withDefaults).
+type RetryPolicy struct {
+	// Attempts is the total number of dial attempts (first try included).
+	// Default 5.
+	Attempts int
+	// BaseDelay is the wait after the first failure. Default 100ms.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff. Default 3s.
+	MaxDelay time.Duration
+	// Multiplier grows the delay between attempts. Default 2.
+	Multiplier float64
+	// Jitter is the fraction of each delay randomized away: delay is
+	// scaled by a seeded uniform draw from [1-Jitter, 1]. Default 0.5;
+	// negative disables jitter.
+	Jitter float64
+	// Seed drives the jitter sequence. 0 derives a stable seed from the
+	// address, so backoff timing is deterministic for a given target —
+	// tests can assert exact schedules.
+	Seed uint64
+	// Sleep is the wait function; tests replace it to capture the
+	// schedule without waiting. Default time.Sleep.
+	Sleep func(time.Duration)
+	// Dial performs one connection attempt; tests replace it to inject
+	// failures. Default Dial (TCP).
+	Dial func(addr string) (Conn, error)
+	// Telemetry, when set, receives transport_dial_attempts,
+	// transport_dial_retries and transport_dial_failures counters
+	// labeled by address.
+	Telemetry *telemetry.Registry
+}
+
+func (p RetryPolicy) withDefaults(addr string) RetryPolicy {
+	if p.Attempts <= 0 {
+		p.Attempts = 5
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 100 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 3 * time.Second
+	}
+	if p.Multiplier < 1 {
+		p.Multiplier = 2
+	}
+	if p.Jitter == 0 {
+		p.Jitter = 0.5
+	} else if p.Jitter < 0 {
+		p.Jitter = 0
+	} else if p.Jitter > 1 {
+		p.Jitter = 1
+	}
+	if p.Seed == 0 {
+		h := fnv.New64a()
+		h.Write([]byte(addr))
+		p.Seed = h.Sum64()
+	}
+	if p.Sleep == nil {
+		p.Sleep = time.Sleep
+	}
+	if p.Dial == nil {
+		p.Dial = Dial
+	}
+	return p
+}
+
+// backoff returns the wait before attempt i+1 (i counts failures so far,
+// starting at 0): min(MaxDelay, BaseDelay·Multiplier^i) scaled into
+// [1-Jitter, 1] by the seeded PRNG.
+func (p RetryPolicy) backoff(rng *seqRand, i int) time.Duration {
+	d := float64(p.BaseDelay)
+	for k := 0; k < i; k++ {
+		d *= p.Multiplier
+		if d >= float64(p.MaxDelay) {
+			break
+		}
+	}
+	if d > float64(p.MaxDelay) {
+		d = float64(p.MaxDelay)
+	}
+	if p.Jitter > 0 {
+		d *= 1 - p.Jitter*rng.float()
+	}
+	return time.Duration(d)
+}
+
+// DialRetry connects to addr, retrying refused or failed dials with
+// capped jittered exponential backoff per pol. It returns the first
+// successful connection, or the last dial error wrapped with the attempt
+// count once the policy's attempts are exhausted.
+func DialRetry(addr string, pol RetryPolicy) (Conn, error) {
+	pol = pol.withDefaults(addr)
+	attempts := pol.Telemetry.Counter("transport_dial_attempts", "addr", addr)
+	retries := pol.Telemetry.Counter("transport_dial_retries", "addr", addr)
+	failures := pol.Telemetry.Counter("transport_dial_failures", "addr", addr)
+	rng := seqRand{state: pol.Seed}
+	var lastErr error
+	for i := 0; i < pol.Attempts; i++ {
+		if i > 0 {
+			retries.Add(1)
+			pol.Sleep(pol.backoff(&rng, i-1))
+		}
+		attempts.Add(1)
+		conn, err := pol.Dial(addr)
+		if err == nil {
+			return conn, nil
+		}
+		lastErr = err
+	}
+	failures.Add(1)
+	return nil, fmt.Errorf("transport: dial %s: gave up after %d attempts: %w", addr, pol.Attempts, lastErr)
+}

@@ -8,11 +8,24 @@ package transport
 import (
 	"bytes"
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"io"
 	"sync"
 	"sync/atomic"
+	"time"
 )
+
+// ErrTimeout reports that a Send or Recv exceeded the timeout configured
+// with Conn.SetTimeout. Match it with errors.Is; protocols treat it as a
+// dead peer and abort.
+var ErrTimeout = errors.New("transport: i/o timeout")
+
+// ErrTooLarge reports an inbound message whose declared size exceeds the
+// receiver's limit (see WrapNetConnLimit). The connection is poisoned:
+// subsequent Recv calls keep failing, because the stream position inside
+// the oversized frame is lost.
+var ErrTooLarge = errors.New("transport: message exceeds size limit")
 
 // Message is the unit of exchange between parties: a protocol-defined type
 // tag and a gob-encoded body.
@@ -63,6 +76,10 @@ type Conn interface {
 	Expect(typ string) (Message, error)
 	// Close releases the link. Pending Recv calls fail.
 	Close() error
+	// SetTimeout bounds every subsequent Send and Recv to d. Zero or
+	// negative disables the bound. A timed-out operation fails with an
+	// error matching ErrTimeout (via errors.Is).
+	SetTimeout(d time.Duration)
 	// Stats returns this endpoint's traffic counters.
 	Stats() *Stats
 }
@@ -93,6 +110,7 @@ type chanConn struct {
 	closeOnce sync.Once
 	closed    chan struct{}
 	peerDone  chan struct{}
+	timeout   atomic.Int64 // nanoseconds; 0 disables
 	stats     Stats
 }
 
@@ -123,6 +141,8 @@ func (c *chanConn) Send(m Message) error {
 		return fmt.Errorf("transport: peer closed")
 	default:
 	}
+	deadline, stop := c.deadline()
+	defer stop()
 	select {
 	case <-c.closed:
 		return fmt.Errorf("transport: send on closed connection")
@@ -132,7 +152,21 @@ func (c *chanConn) Send(m Message) error {
 		c.stats.msgsSent.Add(1)
 		c.stats.bytesSent.Add(int64(m.size()))
 		return nil
+	case <-deadline:
+		return fmt.Errorf("transport: send: %w", ErrTimeout)
 	}
+}
+
+// deadline returns a channel that fires when the configured timeout
+// elapses (nil — never — when timeouts are disabled) and a stop function
+// releasing the backing timer.
+func (c *chanConn) deadline() (<-chan time.Time, func()) {
+	d := time.Duration(c.timeout.Load())
+	if d <= 0 {
+		return nil, func() {}
+	}
+	t := time.NewTimer(d)
+	return t.C, func() { t.Stop() }
 }
 
 // Recv implements Conn.
@@ -142,6 +176,8 @@ func (c *chanConn) Recv() (Message, error) {
 		return Message{}, fmt.Errorf("transport: recv on closed connection")
 	default:
 	}
+	deadline, stop := c.deadline()
+	defer stop()
 	select {
 	case <-c.closed:
 		return Message{}, fmt.Errorf("transport: recv on closed connection")
@@ -149,6 +185,8 @@ func (c *chanConn) Recv() (Message, error) {
 		c.stats.msgsRecv.Add(1)
 		c.stats.bytesRecv.Add(int64(m.size()))
 		return m, nil
+	case <-deadline:
+		return Message{}, fmt.Errorf("transport: recv: %w", ErrTimeout)
 	case <-c.peerDone:
 		// Drain messages the peer sent before closing.
 		select {
@@ -171,6 +209,14 @@ func (c *chanConn) Expect(typ string) (Message, error) {
 func (c *chanConn) Close() error {
 	c.closeOnce.Do(func() { close(c.closed) })
 	return nil
+}
+
+// SetTimeout implements Conn.
+func (c *chanConn) SetTimeout(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	c.timeout.Store(int64(d))
 }
 
 // Stats implements Conn.
