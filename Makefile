@@ -1,16 +1,23 @@
 GO ?= go
 
-.PHONY: all vet lint lint-json build test race chaos bench parallel-report telemetry-report
+.PHONY: all ci vet lint lint-json build test test-short race chaos bench parallel-report telemetry-report
 
 all: vet lint build test race
+
+# The aggregate pre-merge gate: everything `all` runs, ordered so the
+# cheap fast-failing steps (build, vet, lint — including the
+# whole-program plaintaint/keyscope taint analysis) come before the
+# test suites, plus a -short -race pass over the full module.
+ci: build vet lint test race test-short
 
 vet:
 	$(GO) vet ./...
 
-# Crypto-invariant static analysis (cmd/seclint): weakrand, subtlecmp,
-# secretfmt, errdrop, rawexp, rawrecv over every module package, gated
-# on the audited exceptions in seclint.allow. Non-zero exit on any
-# finding.
+# Crypto-invariant static analysis (cmd/seclint): the package-mode
+# analyzers (weakrand, subtlecmp, secretfmt, errdrop, rawexp, rawrecv)
+# over every module package, then the whole-program taint analyzers
+# (plaintaint, keyscope) over the combined call graph, gated on the
+# audited exceptions in seclint.allow. Non-zero exit on any finding.
 lint:
 	$(GO) run ./cmd/seclint
 
@@ -23,6 +30,11 @@ build:
 
 test:
 	$(GO) test ./...
+
+# Fast race-checked sweep over the whole module (skips the expensive
+# whole-module type-checking tests, which `test` already runs).
+test-short:
+	$(GO) test -short -race ./...
 
 # The concurrency safety gate: the mediation protocols, the worker pool,
 # the telemetry registry, the transport layer and the leak-check helpers

@@ -37,6 +37,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	jsonOut := fs.Bool("json", false, "emit findings as a JSON array")
 	allowFile := fs.String("allow", "", "allowlist file (default: seclint.allow at the module root, if present)")
 	list := fs.Bool("list", false, "list analyzers and exit")
+	prune := fs.Bool("prune", false, "rewrite the allowlist dropping entries that suppressed nothing")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -84,6 +85,26 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err != nil {
 		fmt.Fprintf(stderr, "seclint: %v\n", err)
 		return 2
+	}
+
+	if *prune && allow != nil {
+		stale, err := allow.Prune()
+		if err != nil {
+			fmt.Fprintf(stderr, "seclint: pruning %s: %v\n", allow.Path, err)
+			return 2
+		}
+		if len(stale) > 0 {
+			// The stale-entry findings are resolved by the rewrite.
+			kept := findings[:0]
+			for _, f := range findings {
+				if f.Analyzer != "allowlist" {
+					kept = append(kept, f)
+				}
+			}
+			findings = kept
+			fmt.Fprintf(stderr, "seclint: pruned %d stale allowlist entr%s from %s\n",
+				len(stale), map[bool]string{true: "y", false: "ies"}[len(stale) == 1], allow.Path)
+		}
 	}
 
 	if *jsonOut {

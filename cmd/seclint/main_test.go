@@ -76,13 +76,76 @@ func TestRunRepoTreeClean(t *testing.T) {
 	}
 }
 
+// TestRunPlaintaintFixture drives the whole-program mode through the
+// binary entry point: the leaky fake mediator must fail the run, and
+// the printed findings must carry full call paths.
+func TestRunPlaintaintFixture(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-allow", emptyAllow(t), "internal/seclint/testdata/src/plaintaint"}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1 (stderr: %s)", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "[plaintaint]") {
+		t.Errorf("stdout missing plaintaint finding:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "[path plaintaint.(*Mediator).HandleSession -> ") {
+		t.Errorf("stdout missing a full taint trace:\n%s", out.String())
+	}
+}
+
+// TestRunPrune checks -prune rewrites the allowlist in place: the used
+// entry and comments survive, the stale entry is dropped, its
+// unused-entry finding is resolved by the rewrite, and the run is
+// clean.
+func TestRunPrune(t *testing.T) {
+	allow := filepath.Join(t.TempDir(), "seclint.allow")
+	content := `# audited exceptions
+weakrand internal/seclint/testdata/src/weakrand/... -- fixture exercises the analyzer
+subtlecmp cmd/nowhere/*.go -- stale entry that matches nothing
+`
+	if err := os.WriteFile(allow, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errb bytes.Buffer
+	code := run([]string{"-prune", "-allow", allow, "internal/seclint/testdata/src/weakrand"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0\nstdout: %s\nstderr: %s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(errb.String(), "pruned 1 stale allowlist entry") {
+		t.Errorf("stderr missing prune summary: %q", errb.String())
+	}
+	rewritten, err := os.ReadFile(allow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := string(rewritten)
+	if strings.Contains(got, "subtlecmp") {
+		t.Errorf("stale entry survived pruning:\n%s", got)
+	}
+	if !strings.Contains(got, "# audited exceptions") || !strings.Contains(got, "weakrand internal/seclint") {
+		t.Errorf("pruning dropped lines it must keep:\n%s", got)
+	}
+	// A second prune run must be a no-op on an already-clean file.
+	var out2, errb2 bytes.Buffer
+	if code := run([]string{"-prune", "-allow", allow, "internal/seclint/testdata/src/weakrand"}, &out2, &errb2); code != 0 {
+		t.Fatalf("second -prune run: exit %d\n%s", code, errb2.String())
+	}
+	after, err := os.ReadFile(allow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(after) != got {
+		t.Errorf("idempotent prune rewrote the file:\nbefore: %q\nafter: %q", got, string(after))
+	}
+}
+
 // TestRunList covers the analyzer listing used in docs.
 func TestRunList(t *testing.T) {
 	var out, errb bytes.Buffer
 	if code := run([]string{"-list"}, &out, &errb); code != 0 {
 		t.Fatalf("-list exit code = %d", code)
 	}
-	for _, name := range []string{"weakrand", "subtlecmp", "secretfmt", "errdrop", "rawexp", "rawrecv"} {
+	for _, name := range []string{"weakrand", "subtlecmp", "secretfmt", "errdrop", "rawexp", "rawrecv", "plaintaint", "keyscope"} {
 		if !strings.Contains(out.String(), name) {
 			t.Errorf("-list output missing %s:\n%s", name, out.String())
 		}

@@ -82,6 +82,7 @@ func CrossProduct(r, s *relation.Relation) (*relation.Relation, error) {
 // paper's treatment where R1.Ajoin and R2.Ajoin both appear and the client
 // may post-filter on their equality. A hash join is used: the smaller
 // relation is built into a hash table on the encoded join key.
+// seclint:source plaintext equi-join over tuple values
 func EquiJoin(r, s *relation.Relation, leftCols, rightCols []string) (*relation.Relation, error) {
 	if len(leftCols) != len(rightCols) || len(leftCols) == 0 {
 		return nil, fmt.Errorf("algebra: equijoin needs equal non-empty column lists, got %d/%d", len(leftCols), len(rightCols))
@@ -151,6 +152,7 @@ func EquiJoin(r, s *relation.Relation, leftCols, rightCols []string) (*relation.
 
 // NaturalJoin joins r and s on all columns that share an unqualified name,
 // projecting the shared columns once (classic natural join semantics).
+// seclint:source plaintext natural join over tuple values
 func NaturalJoin(r, s *relation.Relation) (*relation.Relation, error) {
 	var shared []string
 	for _, c := range r.Schema().Columns {

@@ -30,6 +30,7 @@ import (
 // Key is a commutative encryption key: a secret exponent and its inverse
 // in a fixed safe-prime group. Both datasources must use the same group
 // (the paper's common domain dom_f); they generate independent exponents.
+// seclint:private commutative-encryption exponent
 type Key struct {
 	group *groups.Group
 	e     *big.Int // encryption exponent, 1 ≤ e < q
@@ -72,6 +73,7 @@ func (k *Key) Group() *groups.Group { return k.group }
 // is itself a full exponentiation (x^q mod p), doubling the per-element
 // cost — callers whose inputs are group elements by construction should
 // use EncryptUnchecked instead.
+// seclint:sanitizer commutative encrypt boundary
 func (k *Key) Encrypt(x *big.Int) (*big.Int, error) {
 	opExp.Add(1) // the membership test is a full exponentiation
 	if !k.group.IsQuadraticResidue(x) {
@@ -94,6 +96,7 @@ func (k *Key) Encrypt(x *big.Int) (*big.Int, error) {
 //     encryptions may skip the test.
 //   - Our own ciphertexts are elements of QR(p) because f_e maps the
 //     subgroup onto itself, so re-encryption layers may skip it too.
+// seclint:sanitizer commutative encrypt boundary
 func (k *Key) EncryptUnchecked(x *big.Int) *big.Int {
 	opExp.Add(1)
 	return new(big.Int).Exp(x, k.e, k.group.P)
@@ -103,6 +106,7 @@ func (k *Key) EncryptUnchecked(x *big.Int) *big.Int {
 // (workers as in parallel.Resolve), preserving order. Inputs are
 // membership-checked like Encrypt; for trusted-origin batches map
 // EncryptUnchecked over the slice instead.
+// seclint:sanitizer commutative encrypt boundary
 func (k *Key) EncryptBatch(xs []*big.Int, workers int) ([]*big.Int, error) {
 	return parallel.Map(len(xs), workers, func(i int) (*big.Int, error) {
 		return k.Encrypt(xs[i])
@@ -119,6 +123,7 @@ func (k *Key) EncryptBatch(xs []*big.Int, workers int) ([]*big.Int, error) {
 // a second exponentiation per element to re-verify membership buys
 // nothing. First-layer encryptions of genuinely untrusted inputs must
 // still use Encrypt — see EncryptUnchecked for the full argument.
+// seclint:sanitizer commutative re-encrypt boundary
 func (k *Key) ReEncrypt(c *big.Int) (*big.Int, error) {
 	if c == nil || c.Sign() <= 0 || c.Cmp(k.group.P) >= 0 {
 		return nil, fmt.Errorf("commutative: ciphertext out of range")
@@ -127,6 +132,7 @@ func (k *Key) ReEncrypt(c *big.Int) (*big.Int, error) {
 }
 
 // Decrypt computes f_e⁻¹(y) = y^d mod p.
+// seclint:source commutative decryption output
 func (k *Key) Decrypt(y *big.Int) (*big.Int, error) {
 	opExp.Add(2) // membership test + inversion exponentiation
 	if !k.group.IsQuadraticResidue(y) {

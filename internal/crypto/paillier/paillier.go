@@ -166,6 +166,7 @@ func (pk *PublicKey) randomizer(rnd io.Reader) (*big.Int, error) {
 // optimization (work modulo p² and q² instead of n²), which is ~3–4×
 // faster than the textbook λ/μ route; both paths are kept and
 // cross-checked in tests.
+// seclint:private Paillier decryption key
 type PrivateKey struct {
 	PublicKey
 	lambda *big.Int // lcm(p-1, q-1)
@@ -252,6 +253,7 @@ func (pk *PublicKey) MaxPlaintext() *big.Int {
 
 // Encrypt encrypts 0 ≤ m < n. Safe for concurrent use: the protocol hot
 // loops fan encryptions out over a worker pool.
+// seclint:sanitizer Paillier encrypt boundary
 func (pk *PublicKey) Encrypt(rnd io.Reader, m *big.Int) (*Ciphertext, error) {
 	if m.Sign() < 0 || m.Cmp(pk.N) >= 0 {
 		return nil, fmt.Errorf("paillier: plaintext out of range [0, n)")
@@ -271,6 +273,7 @@ func (pk *PublicKey) Encrypt(rnd io.Reader, m *big.Int) (*Ciphertext, error) {
 }
 
 // EncryptInt64 encrypts a small non-negative integer.
+// seclint:sanitizer Paillier encrypt boundary
 func (pk *PublicKey) EncryptInt64(rnd io.Reader, m int64) (*Ciphertext, error) {
 	if m < 0 {
 		return nil, fmt.Errorf("paillier: negative plaintext %d", m)
@@ -281,6 +284,7 @@ func (pk *PublicKey) EncryptInt64(rnd io.Reader, m int64) (*Ciphertext, error) {
 // EncryptSigned encrypts a possibly negative value by reducing it modulo n
 // (two's-complement style: -x encodes as n-x). DecryptSigned reverses it.
 // The PM polynomial coefficients are signed, so the protocol uses this pair.
+// seclint:sanitizer Paillier encrypt boundary
 func (pk *PublicKey) EncryptSigned(rnd io.Reader, m *big.Int) (*Ciphertext, error) {
 	mm := new(big.Int).Mod(m, pk.N)
 	return pk.Encrypt(rnd, mm)
@@ -288,6 +292,7 @@ func (pk *PublicKey) EncryptSigned(rnd io.Reader, m *big.Int) (*Ciphertext, erro
 
 // Decrypt recovers the plaintext in [0, n), via CRT when the key carries
 // its factorization (keys from GenerateKey always do).
+// seclint:source Paillier decryption output
 func (sk *PrivateKey) Decrypt(c *Ciphertext) (*big.Int, error) {
 	if err := sk.checkCiphertext(c); err != nil {
 		return nil, err
@@ -318,6 +323,7 @@ func (sk *PrivateKey) Decrypt(c *Ciphertext) (*big.Int, error) {
 
 // decryptLambda is the textbook λ/μ decryption; kept as the reference path
 // and cross-checked against the CRT path in tests.
+// seclint:source Paillier decryption output
 func (sk *PrivateKey) decryptLambda(c *Ciphertext) *big.Int {
 	u := new(big.Int).Exp(c.C, sk.lambda, sk.NSquared)
 	// L(u) = (u-1)/n
@@ -329,6 +335,7 @@ func (sk *PrivateKey) decryptLambda(c *Ciphertext) *big.Int {
 }
 
 // DecryptSigned recovers a signed plaintext in (-n/2, n/2].
+// seclint:source Paillier decryption output
 func (sk *PrivateKey) DecryptSigned(c *Ciphertext) (*big.Int, error) {
 	m, err := sk.Decrypt(c)
 	if err != nil {

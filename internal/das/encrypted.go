@@ -45,6 +45,7 @@ func (er *EncryptedRelation) Len() int { return len(er.Tuples) }
 // so the caller can seal the index tables under the same key, as the paper
 // recommends. The per-tuple index+seal work fans out over a worker pool
 // (workers as in parallel.Resolve) with tuple order preserved.
+// seclint:sanitizer DAS encrypt boundary (tuples sealed, buckets indexed)
 func EncryptRelation(r *relation.Relation, joinCols []string, its []*IndexTable, clientKey *rsa.PublicKey, workers int) (*EncryptedRelation, *hybrid.Session, error) {
 	if len(joinCols) == 0 || len(joinCols) != len(its) {
 		return nil, nil, fmt.Errorf("das: need one index table per join column, got %d/%d", len(joinCols), len(its))
@@ -223,6 +224,7 @@ type Opener interface {
 // positives discarded by q_C. The per-pair decryptions fan out over a
 // worker pool; matching and assembly stay sequential in pair order, so the
 // result is worker-count independent.
+// seclint:source decrypted DAS server result tuples
 func DecryptServerResult(res *ServerResult, recv1, recv2 Opener,
 	schema1, schema2 relation.Schema, joinCols1, joinCols2 []string, workers int) (*relation.Relation, int, error) {
 
@@ -317,6 +319,7 @@ func (cf compiledFilter) admits(index []IndexValue) bool {
 	return true
 }
 
+// seclint:source decrypted DAS tuple
 func openTuple(r Opener, blob, aad []byte, schema relation.Schema) (relation.Tuple, error) {
 	ct, err := hybrid.UnmarshalCiphertext(blob)
 	if err != nil {

@@ -113,6 +113,7 @@ func fixedPoint(v relation.Value) (int64, error) {
 
 // handleAggregate is the mediator's side: localize the source, forward the
 // partial query, fold the encrypted column into E(Σ) and report the count.
+// seclint:entry mediator
 func (m *Mediator) handleAggregate(client transport.Conn, req *Request, q *sqlparse.Query) error {
 	if q.Right != "" {
 		return fmt.Errorf("mediation: aggregates over joins are not supported")

@@ -23,6 +23,7 @@ type ptResult struct {
 // arrive in the clear and the mediator computes the join (Figure 1
 // without any confidentiality mechanism). Used as the correctness oracle
 // and the cost floor in the Section 6 experiments.
+// seclint:entry mediator
 func (m *Mediator) mediatePlaintext(client, s1, s2 transport.Conn, d *decomposition, watch *stopwatch) error {
 	var w1, w2 wireRelation
 	if err := recvInto(s1, "source:"+d.rel1, msgPTPartial, &w1); err != nil {
@@ -104,6 +105,7 @@ func (s *Source) serveMobileCode(conn transport.Conn, pq *PartialQuery, rel *rel
 	return sendMsg(conn, "mediator", msgMCPartial, sessioned[mcPartial]{Session: pq.SessionID, Body: out})
 }
 
+// seclint:entry mediator
 func (m *Mediator) mediateMobileCode(client, s1, s2 transport.Conn, d *decomposition) error {
 	var p1, p2 sessioned[mcPartial]
 	if err := recvInto(s1, "source:"+d.rel1, msgMCPartial, &p1); err != nil {

@@ -155,6 +155,7 @@ func (s *Source) serveCommutative(conn transport.Conn, pq *PartialQuery, rel *re
 // sets between the sources (step 4; in ID mode retaining the encrypted
 // tuple sets per footnote 1), then match doubly-encrypted hash values and
 // assemble the result messages (step 7).
+// seclint:entry mediator
 func (m *Mediator) mediateCommutative(client, s1, s2 transport.Conn, d *decomposition, params Params, watch *stopwatch) error {
 	var o1, o2 commOffer
 	if err := recvInto(s1, "source:"+d.rel1, msgCommOffer, &o1); err != nil {

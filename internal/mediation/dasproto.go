@@ -106,6 +106,7 @@ func (s *Source) serveDAS(conn transport.Conn, pq *PartialQuery, rel *relation.R
 // mediateDAS implements the mediator's role: forward the encrypted index
 // tables to the client (step 4), receive the server query (step 5),
 // evaluate it over the encrypted partial results and return R_C (step 6).
+// seclint:entry mediator
 func (m *Mediator) mediateDAS(client, s1, s2 transport.Conn, d *decomposition, watch *stopwatch) error {
 	var p1, p2 dasPartial
 	if err := recvInto(s1, "source:"+d.rel1, msgDASPartial, &p1); err != nil {

@@ -179,6 +179,7 @@ func (s *Source) servePM(conn transport.Conn, pq *PartialQuery, rel *relation.Re
 // coefficients to the opposite source (step 4) and ship the n+m encrypted
 // evaluations to the client (step 7). The mediator never decrypts
 // anything; it only observes polynomial degrees.
+// seclint:entry mediator
 func (m *Mediator) mediatePM(client, s1, s2 transport.Conn, d *decomposition, params Params, watch *stopwatch) error {
 	var c1, c2 pmCoeffs
 	if err := recvInto(s1, "source:"+d.rel1, msgPMCoeffs, &c1); err != nil {

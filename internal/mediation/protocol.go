@@ -334,6 +334,8 @@ func recvExpect(conn transport.Conn, peer, typ string) (transport.Message, error
 
 // sendMsg encodes and sends a payload in one step. Send failures become
 // *ProtocolError aborts attributed to the peer behind the link.
+//
+// seclint:wire gob-encodes the payload onto the party link
 func sendMsg(conn transport.Conn, peer, typ string, v any) error {
 	m, err := transport.NewMessage(typ, v)
 	if err != nil {
@@ -349,6 +351,9 @@ func sendMsg(conn transport.Conn, peer, typ string, v any) error {
 }
 
 // recvInto receives a message of the given type and decodes its body.
+//
+// seclint:wire gob-decodes a link payload into the target (keys must not
+// arrive over a link either)
 func recvInto(conn transport.Conn, peer, typ string, v any) error {
 	m, err := recvExpect(conn, peer, typ)
 	if err != nil {

@@ -29,6 +29,7 @@ type unionResult struct {
 }
 
 // handleUnion is the mediator's side of the union extension.
+// seclint:entry mediator
 func (m *Mediator) handleUnion(client transport.Conn, req *Request, q *sqlparse.Query) error {
 	s1, ok := m.Schemas[q.Left]
 	if !ok {

@@ -114,6 +114,40 @@ func (al *Allowlist) Filter(findings []Finding) []Finding {
 	return kept
 }
 
+// Prune rewrites the allowlist file in place, dropping every entry
+// that suppressed nothing during the preceding Filter pass. Comments
+// and blank lines are preserved. It returns the dropped entries; an
+// empty result means the file was left untouched.
+func (al *Allowlist) Prune() ([]*AllowEntry, error) {
+	var stale []*AllowEntry
+	drop := map[int]bool{}
+	for _, e := range al.Entries {
+		if !e.used {
+			stale = append(stale, e)
+			drop[e.Line] = true
+		}
+	}
+	if len(stale) == 0 {
+		return nil, nil
+	}
+	data, err := os.ReadFile(al.Path)
+	if err != nil {
+		return nil, err
+	}
+	lines := strings.Split(string(data), "\n")
+	kept := lines[:0]
+	for i, line := range lines {
+		if !drop[i+1] {
+			kept = append(kept, line)
+		}
+	}
+	out := strings.Join(kept, "\n")
+	if err := os.WriteFile(al.Path, []byte(out), 0o644); err != nil {
+		return nil, err
+	}
+	return stale, nil
+}
+
 // Unused returns one finding per allowlist entry that suppressed
 // nothing during Filter; stale entries must be pruned, not accumulated.
 func (al *Allowlist) Unused() []Finding {

@@ -1,0 +1,56 @@
+package seclint
+
+// Plaintaint machine-checks the paper's central security claim: the
+// untrusted mediator computes the join by processing ciphertexts, so no
+// plaintext-bearing value may be reachable from its protocol entry
+// points. Sources are declared with seclint:source (decryption outputs
+// in crypto/hybrid, paillier and commutative private-key operations,
+// relation tuple materialization, DAS plaintext bucket domains) plus a
+// built-in table of stdlib decryption APIs; sanitizers are the audited
+// encrypt boundaries (seclint:sanitizer); the sink is the mediator role
+// itself — every function reachable from a seclint:entry mediator
+// function over the whole-program call graph, following closures,
+// method values, goroutine spawns, defers and interface dispatch.
+//
+// Because the graph cannot follow a call through a func-typed value,
+// such calls in mediator-reachable code are findings too unless they go
+// through a named func type annotated seclint:boundary <party> — which
+// is exactly the honest statement that the call crosses a link to
+// another party (e.g. mediation.Dialer reaching a source).
+var Plaintaint = &Analyzer{
+	Name:       "plaintaint",
+	Doc:        "no plaintext source reachable from the mediator's protocol entry points",
+	RunProgram: runPlaintaint,
+}
+
+func runPlaintaint(pass *ProgramPass) {
+	p := pass.Program
+	for _, bad := range p.Bad {
+		pass.Reportf(bad.Pkg, bad.Pos, "%s", bad.Msg)
+	}
+	reachable := make(map[*Fn]bool)
+	for _, fn := range p.MediatorReachable() {
+		reachable[fn] = true
+	}
+	for _, fn := range p.MediatorReachable() {
+		for _, e := range fn.Edges {
+			if !e.Callee.Source {
+				continue
+			}
+			pass.Reportf(fn.Pkg, e.Pos,
+				"mediator-reachable code calls plaintext source %s (%s): the mediator must process ciphertexts only [path %s -> %s]",
+				e.Callee.Name, e.Callee.SourceWhy, p.Trace(fn), e.Callee.Name)
+		}
+	}
+	for _, ic := range p.Indirect {
+		if !reachable[ic.Fn] || ic.TypeName == nil {
+			continue
+		}
+		if _, declared := p.Boundary[ic.TypeName]; declared {
+			continue
+		}
+		pass.Reportf(ic.Fn.Pkg, ic.Pos,
+			"indirect call through func type %s in mediator-reachable code hides the callee from the taint analysis: audit it and annotate the type with // seclint:boundary <party>, or call the function directly [path %s]",
+			shortTypeName(ic.TypeName), p.Trace(ic.Fn))
+	}
+}

@@ -42,18 +42,23 @@ func (f Finding) String() string {
 	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.File, f.Line, f.Col, f.Analyzer, f.Message)
 }
 
-// Analyzer is one named invariant check run over a type-checked package.
+// Analyzer is one named invariant check. Package-mode analyzers set
+// Run and are invoked once per type-checked package; program-mode
+// analyzers set RunProgram and are invoked once over the whole-module
+// call graph (see program.go). Exactly one of the two is set.
 type Analyzer struct {
 	// Name identifies the analyzer in findings and allowlist entries.
 	Name string
 	// Doc is a one-line description shown by the driver.
 	Doc string
-	// Run inspects the package and reports findings through the pass.
+	// Run inspects one package and reports findings through the pass.
 	Run func(*Pass)
+	// RunProgram inspects the whole-program call graph.
+	RunProgram func(*ProgramPass)
 }
 
 // All lists every analyzer in the suite, in reporting order.
-var All = []*Analyzer{Weakrand, Subtlecmp, Secretfmt, Errdrop, Rawexp, Rawrecv}
+var All = []*Analyzer{Weakrand, Subtlecmp, Secretfmt, Errdrop, Rawexp, Rawrecv, Plaintaint, Keyscope}
 
 // Pass carries one (analyzer, package) unit of work.
 type Pass struct {
@@ -75,6 +80,32 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	p.report(Finding{
 		Analyzer: p.Analyzer.Name,
 		File:     p.Pkg.relFile(position.Filename),
+		Line:     position.Line,
+		Col:      position.Column,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// ProgramPass carries one (analyzer, whole-program) unit of work.
+type ProgramPass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Program  *Program
+
+	report func(Finding)
+}
+
+// Reportf records a finding at pos; pkg re-homes the filename into
+// module-relative form (findings outside any package keep the raw path).
+func (p *ProgramPass) Reportf(pkg *Package, pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	file := filepath.ToSlash(position.Filename)
+	if pkg != nil {
+		file = pkg.relFile(position.Filename)
+	}
+	p.report(Finding{
+		Analyzer: p.Analyzer.Name,
+		File:     file,
 		Line:     position.Line,
 		Col:      position.Column,
 		Message:  fmt.Sprintf(format, args...),
@@ -268,6 +299,16 @@ func (l *Loader) LoadDir(dir string) (*Package, error) {
 	return pkg, nil
 }
 
+// Packages returns every package loaded so far, sorted by import path.
+func (l *Loader) Packages() []*Package {
+	out := make([]*Package, 0, len(l.pkgs))
+	for _, p := range l.pkgs {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ImportPath < out[j].ImportPath })
+	return out
+}
+
 // loaderImporter routes intra-module imports back into the loader and
 // everything else to the stdlib source importer.
 type loaderImporter Loader
@@ -330,10 +371,13 @@ type Runner struct {
 	Allow *Allowlist
 }
 
-// RunPackage runs every analyzer over one loaded package.
+// RunPackage runs every package-mode analyzer over one loaded package.
 func (r *Runner) RunPackage(pkg *Package) []Finding {
 	var out []Finding
 	for _, a := range r.Analyzers {
+		if a.Run == nil {
+			continue // program-mode analyzers run via RunProgram
+		}
 		pass := &Pass{
 			Analyzer: a,
 			Fset:     r.Loader.Fset,
@@ -347,9 +391,37 @@ func (r *Runner) RunPackage(pkg *Package) []Finding {
 	return out
 }
 
-// RunDirs loads and analyzes each directory, filters findings through
-// the allowlist, appends unused-allowlist-entry findings, and returns
-// the result sorted by position.
+// RunProgram builds the whole-module call graph from every package the
+// loader has seen (requested directories plus their transitive
+// intra-module imports) and runs the program-mode analyzers over it.
+func (r *Runner) RunProgram() []Finding {
+	var programMode []*Analyzer
+	for _, a := range r.Analyzers {
+		if a.RunProgram != nil {
+			programMode = append(programMode, a)
+		}
+	}
+	if len(programMode) == 0 {
+		return nil
+	}
+	prog := BuildProgram(r.Loader.Fset, r.Loader.Packages())
+	var out []Finding
+	for _, a := range programMode {
+		pass := &ProgramPass{
+			Analyzer: a,
+			Fset:     r.Loader.Fset,
+			Program:  prog,
+			report:   func(f Finding) { out = append(out, f) },
+		}
+		a.RunProgram(pass)
+	}
+	return out
+}
+
+// RunDirs loads and analyzes each directory (package mode per package,
+// then program mode over the combined call graph), filters findings
+// through the allowlist, appends unused-allowlist-entry findings, and
+// returns the result sorted by position.
 func (r *Runner) RunDirs(dirs []string) ([]Finding, error) {
 	var out []Finding
 	for _, dir := range dirs {
@@ -359,6 +431,7 @@ func (r *Runner) RunDirs(dirs []string) ([]Finding, error) {
 		}
 		out = append(out, r.RunPackage(pkg)...)
 	}
+	out = append(out, r.RunProgram()...)
 	if r.Allow != nil {
 		out = r.Allow.Filter(out)
 		out = append(out, r.Allow.Unused()...)

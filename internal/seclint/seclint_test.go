@@ -74,6 +74,108 @@ func TestAnalyzersOnFixtures(t *testing.T) {
 	}
 }
 
+// TestProgramAnalyzersOnFixtures runs each whole-program analyzer over
+// its fixture package and checks the findings against the `// want`
+// expectations, exactly like the package-mode test above. The
+// plaintaint fixture is a deliberately leaky fake mediator covering
+// every edge kind the call graph follows (direct call, closure, method
+// value, goroutine, defer, interface dispatch) plus the sanitizer cut,
+// the boundary rule and the annotation-misuse reports.
+func TestProgramAnalyzersOnFixtures(t *testing.T) {
+	cases := []struct {
+		name     string
+		analyzer *Analyzer
+		fixture  string
+	}{
+		{"plaintaint", Plaintaint, "testdata/src/plaintaint"},
+		{"keyscope", Keyscope, "testdata/src/keyscope"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			loader, pkg := loadFixture(t, tc.fixture)
+			runner := &Runner{Loader: loader, Analyzers: []*Analyzer{tc.analyzer}}
+			findings := runner.RunProgram()
+			wants, err := ParseWants(loader.Fset, pkg.Files)
+			if err != nil {
+				t.Fatalf("ParseWants: %v", err)
+			}
+			if len(wants) == 0 {
+				t.Fatalf("fixture %s carries no want comments", tc.fixture)
+			}
+			for i := range wants {
+				wants[i].File = pkg.relFile(wants[i].File)
+			}
+			for _, problem := range CheckWants(findings, wants) {
+				t.Error(problem)
+			}
+		})
+	}
+}
+
+// TestTaintTraceMessage pins the shape of a taint trace: the finding
+// message must carry the full entry→source call path, including the
+// creator-attributed name of a closure along the way.
+func TestTaintTraceMessage(t *testing.T) {
+	loader, _ := loadFixture(t, "testdata/src/plaintaint")
+	runner := &Runner{Loader: loader, Analyzers: []*Analyzer{Plaintaint}}
+	findings := runner.RunProgram()
+	for _, path := range []string{
+		"plaintaint.(*Mediator).HandleSession -> plaintaint.direct -> plaintaint.decryptTuple",
+		"plaintaint.viaClosure -> plaintaint.viaClosure.func@",
+	} {
+		found := false
+		for _, f := range findings {
+			if strings.Contains(f.Message, path) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("no finding carries the call path %q; findings:\n%v", path, findings)
+		}
+	}
+}
+
+// TestPlaintaintRealTree is the satellite regression test for the real
+// module: without the allowlist, the only plaintext sources reachable
+// from a mediator entry point must be the ones in the declared
+// plaintext-baseline file, every finding must carry a full call path,
+// and keyscope must be silent (no key material at the mediator or on a
+// link anywhere in the tree).
+func TestPlaintaintRealTree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short")
+	}
+	loader, err := NewLoader(moduleRoot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirs, err := WalkPackageDirs(loader.RootDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runner := &Runner{Loader: loader, Analyzers: []*Analyzer{Plaintaint, Keyscope}}
+	findings, err := runner.RunDirs(dirs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) == 0 {
+		t.Fatal("expected plaintaint findings for the plaintext baseline; the allowlisted leak must stay visible without the allowlist")
+	}
+	for _, f := range findings {
+		if f.Analyzer != "plaintaint" {
+			t.Errorf("unexpected %s finding on the real tree: %s", f.Analyzer, f)
+			continue
+		}
+		if f.File != "internal/mediation/baselines.go" {
+			t.Errorf("plaintext reachable outside the declared baseline: %s", f)
+		}
+		if !strings.Contains(f.Message, "[path ") || !strings.Contains(f.Message, " -> ") {
+			t.Errorf("finding lacks a full call path: %s", f)
+		}
+	}
+}
+
 // TestFindingPositions pins one exact position per analyzer, so a
 // traversal change that shifts report anchors fails loudly rather than
 // only through regex matching.
