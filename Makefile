@@ -1,14 +1,15 @@
 GO ?= go
 
-.PHONY: all ci vet lint lint-json build test test-short race chaos bench parallel-report telemetry-report
+.PHONY: all ci vet lint lint-json build test test-short race chaos bench bench-smoke parallel-report telemetry-report large-report
 
 all: vet lint build test race
 
 # The aggregate pre-merge gate: everything `all` runs, ordered so the
 # cheap fast-failing steps (build, vet, lint — including the
 # whole-program plaintaint/keyscope taint analysis) come before the
-# test suites, plus a -short -race pass over the full module.
-ci: build vet lint test race test-short
+# test suites, plus a -short -race pass over the full module and the
+# tiny-row medbench sweep that guards the BENCH JSON schema.
+ci: build vet lint test race test-short bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -52,6 +53,12 @@ chaos:
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x ./...
 
+# Tiny-row run of every medbench table, asserting the BENCH JSON schema
+# (cores/gomaxprocs runner fields, commutative_engine entry, large-table
+# shape). Guards the artifact contract, not performance numbers.
+bench-smoke:
+	$(GO) test -count=1 -run TestBenchSmoke ./cmd/medbench
+
 # Regenerates BENCH_parallel.json (worker-pool + fixed-base speedups).
 parallel-report:
 	$(GO) run ./cmd/medbench -table parallel
@@ -60,3 +67,10 @@ parallel-report:
 # from telemetry spans) and prints the human-readable table.
 telemetry-report:
 	$(GO) run ./cmd/medbench -table phases
+
+# Regenerates BENCH_large.json: the TPC-H-shaped orders⋈customer workload
+# through every secure protocol. SCALE=1 is the realistic 150k/1.5M-row
+# setting; the default keeps the run in minutes on one core.
+SCALE ?= 0.01
+large-report:
+	$(GO) run ./cmd/medbench -table large -scale $(SCALE)

@@ -1,0 +1,121 @@
+package main
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"github.com/secmediation/secmediation/internal/telemetry"
+	"github.com/secmediation/secmediation/internal/workload"
+)
+
+// largeProtocolRun is one secure protocol's end-to-end measurement on the
+// TPC-H-shaped workload.
+type largeProtocolRun struct {
+	Protocol     string           `json:"protocol"`
+	WallNs       int64            `json:"wall_ns"`
+	ResultTuples int              `json:"result_tuples"`
+	Ops          map[string]int64 `json:"crypto_ops,omitempty"`
+}
+
+// largeReport is the BENCH_large.json schema.
+type largeReport struct {
+	Cores          int               `json:"cores"`
+	GOMAXPROCS     int               `json:"gomaxprocs"`
+	GOOS           string            `json:"goos"`
+	GOARCH         string            `json:"goarch"`
+	Scale          float64           `json:"scale"`
+	Customers      int               `json:"customers"`
+	Orders         int               `json:"orders"`
+	CustomerDomain int               `json:"customer_active_domain"`
+	OrderDomain    int               `json:"order_active_domain"`
+	JoinSize       int               `json:"join_size"`
+	GroupBits      int               `json:"group_bits"`
+	PaillierBits   int               `json:"paillier_bits"`
+	Buckets        int               `json:"pm_buckets"`
+	Protocols      []largeProtocolRun `json:"protocols"`
+}
+
+// tableLarge runs the secure protocols on a TPC-H-shaped orders⋈customer
+// workload: |customer| = 150000·scale with every customer key active,
+// |orders| = 10·|customer| over ⌊2/3·|customer|⌋ distinct customers (the
+// TPC-H ratio of customers with open orders), overlap 1 — every order
+// joins. scale = 1 is the paper-realistic 150k/1.5M-row setting; the
+// default is far smaller so the table finishes in minutes on one core,
+// but the shape (many rows per join key, asymmetric domains, batch-path
+// saturation) is the same. Writes BENCH_large.json.
+func tableLarge(scale float64, groupBits, paillierBits int, jsonPath string) error {
+	if scale <= 0 {
+		return fmt.Errorf("large: scale must be positive")
+	}
+	customers := int(150000 * scale)
+	if customers < 30 {
+		customers = 30
+	}
+	orders := 10 * customers
+	orderDomain := customers * 2 / 3
+	// FNP bucketing keeps the PM oblivious evaluations low-degree; sized
+	// for a max bucket load around 8 before padding.
+	buckets := orderDomain / 8
+	if buckets < 1 {
+		buckets = 1
+	}
+
+	h, err := newHarness(customers, customers, 1, 0, groupBits, paillierBits)
+	if err != nil {
+		return err
+	}
+	// Reshape into orders⋈customer: R1 = customer (every key active
+	// exactly once, Rows1 = Domain1), R2 = orders (10 rows per customer
+	// on 2/3 of the customer keys, all shared).
+	h.spec = workload.JoinSpec{
+		Rows1: customers, Domain1: customers,
+		Rows2: orders, Domain2: orderDomain,
+		Overlap: 1, Skew: 0, Seed: 19920817,
+	}
+	r1, r2, err := h.spec.Generate()
+	if err != nil {
+		return err
+	}
+	if h.joinSize, err = workload.ExpectedJoinSize(r1, r2); err != nil {
+		return err
+	}
+
+	report := largeReport{
+		Cores: runtime.NumCPU(), GOMAXPROCS: runtime.GOMAXPROCS(0),
+		GOOS: runtime.GOOS, GOARCH: runtime.GOARCH,
+		Scale: scale, Customers: customers, Orders: orders,
+		CustomerDomain: customers, OrderDomain: orderDomain,
+		JoinSize: h.joinSize, GroupBits: groupBits, PaillierBits: paillierBits,
+		Buckets: buckets,
+	}
+	fmt.Printf("TPC-H-shaped workload: |customer|=%d, |orders|=%d (scale %g), join size=%d\n",
+		customers, orders, scale, h.joinSize)
+	rows := [][]string{{"protocol", "wall", "result tuples", "crypto ops"}}
+	for _, proto := range secureProtocols {
+		params := h.params()
+		params.Buckets = buckets
+		reg := telemetry.NewRegistry()
+		start := time.Now()
+		if _, err := h.runWith(proto, params, reg); err != nil {
+			return err
+		}
+		wall := time.Since(start)
+		run := largeProtocolRun{
+			Protocol: proto.String(), WallNs: wall.Nanoseconds(),
+			ResultTuples: h.joinSize, Ops: reg.OpDeltas(),
+		}
+		report.Protocols = append(report.Protocols, run)
+		ops := ""
+		for i, name := range sortedKeys(run.Ops) {
+			if i > 0 {
+				ops += " "
+			}
+			ops += fmt.Sprintf("%s=%d", name, run.Ops[name])
+		}
+		rows = append(rows, []string{proto.String(), wall.Round(time.Millisecond).String(),
+			fmt.Sprint(h.joinSize), ops})
+	}
+	printAligned(rows)
+	return writeReport(jsonPath, report)
+}

@@ -6,12 +6,18 @@
 //	medbench -table 3    Section 6 cost matrix (per-party compute, traffic, interactions)
 //	medbench -table 4    DAS partitioning trade-off (superset size vs partition count)
 //	medbench -table 5    extension ablations (selection pushdown, footnote modes, FNP buckets)
-//	medbench -table parallel  worker-pool + fixed-base speedup summary (writes BENCH_parallel.json)
+//	medbench -table parallel  worker-pool + fixed-base + fast-exponentiation speedup
+//	                          summary (writes BENCH_parallel.json)
 //	medbench -table phases    per-phase × per-party cost breakdown from telemetry spans
 //	                          (writes BENCH_phases.json)
-//	medbench -table all  everything
+//	medbench -table large     TPC-H-shaped orders⋈customer workload at -scale
+//	                          (writes BENCH_large.json)
+//	medbench -table all  everything except large (which sizes itself by -scale,
+//	                     not the -rows/-domain toy knobs)
 //
-// Workload knobs: -rows, -domain, -overlap, -groupbits, -paillier.
+// Workload knobs: -rows, -domain, -overlap, -groupbits, -paillier; the
+// large table is sized by -scale alone (scale 1 = 150k customer / 1.5M
+// orders rows, the realistic setting of arXiv 2103.05792).
 // -json overrides the output path of the machine-readable summaries;
 // "-" prints the JSON to stdout instead of the human table, "" keeps the
 // per-table default (BENCH_parallel.json / BENCH_phases.json).
@@ -31,15 +37,24 @@ import (
 )
 
 func main() {
-	table := flag.String("table", "all", "which table to regenerate: 1|2|3|4|5|parallel|phases|all")
+	table := flag.String("table", "all", "which table to regenerate: 1|2|3|4|5|parallel|phases|large|all")
 	rows := flag.Int("rows", 200, "tuples per relation")
 	domain := flag.Int("domain", 50, "active-domain size of the join attribute")
 	overlap := flag.Float64("overlap", 0.5, "fraction of shared join values")
 	skew := flag.Float64("skew", 0, "Zipf skew of join-key multiplicities (0 = uniform)")
 	groupBits := flag.Int("groupbits", 1536, "commutative group size")
 	paillierBits := flag.Int("paillier", 1024, "Paillier modulus size")
+	scale := flag.Float64("scale", 0.01, "TPC-H scale factor for -table large (1 = 150k/1.5M rows)")
 	jsonOut := flag.String("json", "", `machine-readable output path ("" = per-table default, "-" = stdout JSON only)`)
 	flag.Parse()
+
+	if *table == "large" {
+		// The large table owns its workload shape; skip the toy harness.
+		if err := tableLarge(*scale, *groupBits, *paillierBits, orDefault(*jsonOut, "BENCH_large.json")); err != nil {
+			log.Fatalf("medbench: %v", err)
+		}
+		return
+	}
 
 	h, err := newHarness(*rows, *domain, *overlap, *skew, *groupBits, *paillierBits)
 	if err != nil {

@@ -29,32 +29,52 @@ type parallelPaillierRun struct {
 	Speedup         float64 `json:"speedup"`
 }
 
-// parallelReport is the BENCH_parallel.json schema. Cores records the
-// runner honestly: worker-pool speedups only manifest with Cores > 1,
-// while the Paillier fixed-base speedup holds on any runner.
+// parallelReport is the BENCH_parallel.json schema. Cores and GOMAXPROCS
+// record the runner honestly (both, separately: NumCPU is the hardware,
+// GOMAXPROCS what the scheduler may actually use): worker-pool speedups
+// only manifest when their minimum exceeds 1, while the Paillier
+// fixed-base and commutative-engine speedups hold on any runner.
 type parallelReport struct {
-	Cores     int                   `json:"cores"`
-	GOOS      string                `json:"goos"`
-	GOARCH    string                `json:"goarch"`
-	Rows      int                   `json:"rows_per_relation"`
-	Domain    int                   `json:"active_domain"`
-	Protocols []parallelProtocolRun `json:"protocols"`
-	Paillier  parallelPaillierRun   `json:"paillier_fixed_base"`
+	Cores      int                   `json:"cores"`
+	GOMAXPROCS int                   `json:"gomaxprocs"`
+	GOOS       string                `json:"goos"`
+	GOARCH     string                `json:"goarch"`
+	Rows       int                   `json:"rows_per_relation"`
+	Domain     int                   `json:"active_domain"`
+	Protocols  []parallelProtocolRun `json:"protocols"`
+	Paillier   parallelPaillierRun   `json:"paillier_fixed_base"`
+	Engine     commutativeEngineRun  `json:"commutative_engine"`
 }
 
 // tableParallel measures the parallel crypto execution layer: each
-// ciphertext protocol end-to-end at Workers 1 / 2 / NumCPU, plus the
-// Paillier fixed-base randomizer precomputation, and writes the summary to
+// ciphertext protocol end-to-end at Workers 1 / 2 / NumCPU, the
+// Paillier fixed-base randomizer precomputation, and the commutative
+// fast-exponentiation engine before/after, and writes the summary to
 // jsonPath (skipped when empty).
 func (h *harness) tableParallel(jsonPath string) error {
 	cores := runtime.NumCPU()
-	fmt.Printf("Parallel execution layer (runner: %d core(s), %s/%s)\n", cores, runtime.GOOS, runtime.GOARCH)
+	maxprocs := runtime.GOMAXPROCS(0)
+	fmt.Printf("Parallel execution layer (runner: %d core(s), GOMAXPROCS=%d, %s/%s)\n",
+		cores, maxprocs, runtime.GOOS, runtime.GOARCH)
+	if effective := min(cores, maxprocs); effective == 1 {
+		fmt.Println()
+		fmt.Println("  ********************************************************************")
+		fmt.Println("  *  WARNING: effective cores == 1 on this runner.                   *")
+		fmt.Println("  *  Worker-pool speedups CANNOT manifest here: every speedup-vs-    *")
+		fmt.Println("  *  sequential figure below will read ~1.0x regardless of pool      *")
+		fmt.Println("  *  size. Re-run on a multi-core machine to validate scaling; the   *")
+		fmt.Println("  *  per-op speedups (paillier_fixed_base, commutative_engine) are   *")
+		fmt.Println("  *  core-count independent and remain meaningful.                   *")
+		fmt.Println("  ********************************************************************")
+		fmt.Println()
+	}
 
 	workerCounts := []int{1, 2}
 	if cores > 2 {
 		workerCounts = append(workerCounts, cores)
 	}
-	report := parallelReport{Cores: cores, GOOS: runtime.GOOS, GOARCH: runtime.GOARCH,
+	report := parallelReport{Cores: cores, GOMAXPROCS: maxprocs,
+		GOOS: runtime.GOOS, GOARCH: runtime.GOARCH,
 		Rows: h.spec.Rows1, Domain: h.spec.Domain1}
 
 	rows := [][]string{{"protocol", "workers", "wall", "speedup vs workers=1"}}
@@ -93,6 +113,27 @@ func (h *harness) tableParallel(jsonPath string) error {
 		time.Duration(pail.FixedBaseNsOp).Round(time.Microsecond),
 		pail.Speedup,
 		time.Duration(pail.PrecomputeNs).Round(time.Millisecond))
+
+	// Single-thread cross-encryption at the paper's workload size: the
+	// per-op engine speedup the worker pool then multiplies.
+	values := h.spec.Domain1 + h.spec.Domain2
+	if values > 256 {
+		values = 256
+	}
+	eng, err := measureCommutativeEngine(h.groupBits, values)
+	if err != nil {
+		return err
+	}
+	report.Engine = eng
+	fmt.Printf("commutative %d-bit cross-encryption (single thread, %d values): full %d-bit exponents %s/op, short %d-bit exponents %s/op (%.1fx)\n",
+		eng.GroupBits, eng.Values,
+		eng.FullExpBits, time.Duration(eng.FullNsPerOp).Round(time.Microsecond),
+		eng.ShortExpBits, time.Duration(eng.ShortNsPerOp).Round(time.Microsecond),
+		eng.Speedup)
+	fmt.Printf("commutative QR membership test: euler %s/op, jacobi %s/op (%.1fx)\n\n",
+		time.Duration(eng.QRTestEulerNs).Round(time.Microsecond),
+		time.Duration(eng.QRTestJacobiNs).Round(time.Microsecond),
+		eng.QRTestSpeedup)
 
 	return writeReport(jsonPath, report)
 }

@@ -28,12 +28,13 @@ type protocolPhases struct {
 // phasesReport is the BENCH_phases.json schema, shared with the -json
 // stdout mode.
 type phasesReport struct {
-	Cores     int              `json:"cores"`
-	GOOS      string           `json:"goos"`
-	GOARCH    string           `json:"goarch"`
-	Rows      int              `json:"rows_per_relation"`
-	Domain    int              `json:"active_domain"`
-	Protocols []protocolPhases `json:"protocols"`
+	Cores      int              `json:"cores"`
+	GOMAXPROCS int              `json:"gomaxprocs"`
+	GOOS       string           `json:"goos"`
+	GOARCH     string           `json:"goarch"`
+	Rows       int              `json:"rows_per_relation"`
+	Domain     int              `json:"active_domain"`
+	Protocols  []protocolPhases `json:"protocols"`
 }
 
 // phaseParties and phaseOrder fix the table layout; phases a run emits
@@ -55,7 +56,8 @@ var (
 // machine-readable report goes to jsonPath ("-" prints JSON instead of
 // the table, "" skips the file).
 func (h *harness) tablePhases(jsonPath string) error {
-	report := phasesReport{Cores: runtime.NumCPU(), GOOS: runtime.GOOS, GOARCH: runtime.GOARCH,
+	report := phasesReport{Cores: runtime.NumCPU(), GOMAXPROCS: runtime.GOMAXPROCS(0),
+		GOOS: runtime.GOOS, GOARCH: runtime.GOARCH,
 		Rows: h.spec.Rows1, Domain: h.spec.Domain1}
 	protos := append([]mediation.Protocol{mediation.ProtocolPlaintext, mediation.ProtocolMobileCode}, secureProtocols...)
 	for _, proto := range protos {

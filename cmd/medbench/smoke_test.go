@@ -1,0 +1,135 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestBenchSmoke is the `make bench-smoke` entry point: a tiny-row run of
+// every medbench table, asserting that the machine-readable reports carry
+// the full schema — in particular the cores/gomaxprocs runner fields and
+// the commutative-engine entry this schema version introduced. It guards
+// the BENCH artifact contract, not performance numbers.
+func TestBenchSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bench smoke is a full (if tiny) protocol sweep; skipped with -short")
+	}
+	h, err := newHarness(12, 6, 0.5, 0, 1536, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The five paper tables print only; they smoke the protocol sweep.
+	for name, f := range map[string]func() error{
+		"table1": h.table1, "table2": h.table2, "table3": h.table3,
+		"table4": h.table4, "table5": h.table5,
+	} {
+		if err := f(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+
+	dir := t.TempDir()
+	readJSON := func(path string, v any) {
+		t.Helper()
+		blob, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := json.Unmarshal(blob, v); err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+	}
+
+	parallelPath := filepath.Join(dir, "parallel.json")
+	if err := h.tableParallel(parallelPath); err != nil {
+		t.Fatal(err)
+	}
+	var par parallelReport
+	readJSON(parallelPath, &par)
+	if par.Cores < 1 || par.GOMAXPROCS < 1 {
+		t.Errorf("parallel report runner fields: cores=%d gomaxprocs=%d, want both >= 1", par.Cores, par.GOMAXPROCS)
+	}
+	if par.GOOS == "" || par.GOARCH == "" {
+		t.Error("parallel report missing goos/goarch")
+	}
+	if len(par.Protocols) == 0 {
+		t.Error("parallel report has no protocol runs")
+	}
+	for _, p := range par.Protocols {
+		if p.WallNs <= 0 || p.Workers < 1 || p.Protocol == "" {
+			t.Errorf("malformed protocol run %+v", p)
+		}
+	}
+	if par.Paillier.Speedup <= 0 || par.Paillier.TextbookNsPerOp <= 0 {
+		t.Errorf("malformed paillier entry %+v", par.Paillier)
+	}
+	eng := par.Engine
+	if eng.GroupBits != 1536 || eng.Values <= 0 {
+		t.Errorf("malformed engine entry %+v", eng)
+	}
+	if eng.FullNsPerOp <= 0 || eng.ShortNsPerOp <= 0 || eng.Speedup <= 0 {
+		t.Errorf("engine entry missing per-op times: %+v", eng)
+	}
+	if eng.ShortExpBits >= eng.FullExpBits {
+		t.Errorf("engine entry: short exponent (%d bits) not shorter than full (%d bits)", eng.ShortExpBits, eng.FullExpBits)
+	}
+	if eng.QRTestJacobiNs <= 0 || eng.QRTestSpeedup <= 0 {
+		t.Errorf("engine entry missing QR-test times: %+v", eng)
+	}
+
+	phasesPath := filepath.Join(dir, "phases.json")
+	if err := h.tablePhases(phasesPath); err != nil {
+		t.Fatal(err)
+	}
+	var ph phasesReport
+	readJSON(phasesPath, &ph)
+	if ph.Cores < 1 || ph.GOMAXPROCS < 1 {
+		t.Errorf("phases report runner fields: cores=%d gomaxprocs=%d, want both >= 1", ph.Cores, ph.GOMAXPROCS)
+	}
+	if len(ph.Protocols) == 0 {
+		t.Error("phases report has no protocols")
+	}
+	// The join protocols take the unchecked encrypt paths by design
+	// (oracle-hashed inputs, own ciphertexts), so commutative.qrtest
+	// stays 0 here — but commutative.exp must track the 2(n+m) ladder
+	// count exactly, which is what the op-counter fix pinned down.
+	var sawExp bool
+	for _, p := range ph.Protocols {
+		if p.WallNs <= 0 || p.Protocol == "" {
+			t.Errorf("malformed phases protocol %+v", p)
+		}
+		if p.Protocol == "commutative-encryption" {
+			sawExp = p.Ops["commutative.exp"] > 0
+			if want := int64(2 * (6 + 6)); p.Ops["commutative.exp"] != want {
+				t.Errorf("commutative.exp = %d, want exactly %d (= 2(n+m))", p.Ops["commutative.exp"], want)
+			}
+		}
+	}
+	if !sawExp {
+		t.Error("commutative protocol reported no commutative.exp ops")
+	}
+
+	largePath := filepath.Join(dir, "large.json")
+	if err := tableLarge(0.0002, 1536, 1024, largePath); err != nil {
+		t.Fatal(err)
+	}
+	var lg largeReport
+	readJSON(largePath, &lg)
+	if lg.Cores < 1 || lg.GOMAXPROCS < 1 {
+		t.Errorf("large report runner fields: cores=%d gomaxprocs=%d, want both >= 1", lg.Cores, lg.GOMAXPROCS)
+	}
+	if lg.Customers <= 0 || lg.Orders != 10*lg.Customers || lg.JoinSize <= 0 {
+		t.Errorf("large report workload shape: %+v", lg)
+	}
+	if len(lg.Protocols) != len(secureProtocols) {
+		t.Errorf("large report covers %d protocols, want %d", len(lg.Protocols), len(secureProtocols))
+	}
+	for _, p := range lg.Protocols {
+		if p.WallNs <= 0 || p.ResultTuples <= 0 {
+			t.Errorf("malformed large protocol run %+v", p)
+		}
+	}
+}

@@ -12,6 +12,14 @@
 //   - Secrecy: under the Decisional Diffie–Hellman assumption in QR(p),
 //     ⟨x, x^e, y, y^e⟩ is indistinguishable from ⟨x, x^e, y, z⟩ for random
 //     x, y, z — the indistinguishability property Agrawal et al. prove.
+//     With short exponents (GenerateKey at production group sizes) this
+//     additionally relies on the short-exponent indistinguishability
+//     assumption (Koshiba–Kurosawa, PKC 2004); see docs/SECURITY.md.
+//
+// Each key exponentiation runs through a modexp.Engine: the secret
+// exponent's window schedule is decomposed once at key generation and
+// reused by every Encrypt/ReEncrypt/Decrypt — the hot path of the whole
+// commutative protocol.
 //
 // Inputs must be elements of QR(p); the protocols guarantee this by hashing
 // attribute values into QR(p) with the ideal-hash oracle
@@ -24,31 +32,74 @@ import (
 	"math/big"
 
 	"github.com/secmediation/secmediation/internal/crypto/groups"
+	"github.com/secmediation/secmediation/internal/crypto/modexp"
 	"github.com/secmediation/secmediation/internal/parallel"
 )
 
-// Key is a commutative encryption key: a secret exponent and its inverse
-// in a fixed safe-prime group. Both datasources must use the same group
-// (the paper's common domain dom_f); they generate independent exponents.
+// Key is a commutative encryption key: a secret exponent, its inverse in
+// a fixed safe-prime group, and the precomputed exponentiation engines
+// for both (the engines' window schedules are derived from the secrets
+// and are key material themselves). Both datasources must use the same
+// group (the paper's common domain dom_f); they generate independent
+// exponents.
 // seclint:private commutative-encryption exponent
 type Key struct {
 	group *groups.Group
-	e     *big.Int // encryption exponent, 1 ≤ e < q
-	d     *big.Int // decryption exponent, e·d ≡ 1 (mod q)
+	e     *big.Int       // encryption exponent, 1 ≤ e < q
+	d     *big.Int       // decryption exponent, e·d ≡ 1 (mod q)
+	enc   *modexp.Engine // engine for x ↦ x^e mod p
+	dec   *modexp.Engine // engine for y ↦ y^d mod p
 }
 
-// GenerateKey draws a fresh secret exponent in the given group.
+// GenerateKey draws a fresh secret exponent in the given group. At
+// production group sizes (≥ 1024 bits) the exponent is short — see
+// groups.ShortExponentBits — which shrinks the encryption ladder ~8× at
+// the default 2048-bit group; smaller test groups draw full-length
+// exponents. The decryption exponent d = e⁻¹ mod q is full-length either
+// way (the inverse of a short exponent is not short); Decrypt sits off
+// the protocols' hot path, which cross-encrypts far more than it decrypts.
 func GenerateKey(g *groups.Group, rnd io.Reader) (*Key, error) {
+	e, err := g.RandomShortExponent(rnd)
+	if err != nil {
+		return nil, err
+	}
+	return keyFromExponent(g, e)
+}
+
+// GenerateKeyFullExponent draws a full-length exponent uniform in
+// [1, q-1] — the scheme exactly as Agrawal et al. state it, with no
+// short-exponent assumption. Use it to drop the Koshiba–Kurosawa
+// assumption at ~8× the per-element encryption cost; medbench's engine
+// table benches both.
+func GenerateKeyFullExponent(g *groups.Group, rnd io.Reader) (*Key, error) {
 	e, err := g.RandomExponent(rnd)
 	if err != nil {
 		return nil, err
 	}
+	return keyFromExponent(g, e)
+}
+
+// keyFromExponent completes a key: inverse exponent, shared Montgomery
+// context, and the two window-schedule engines.
+func keyFromExponent(g *groups.Group, e *big.Int) (*Key, error) {
 	d := new(big.Int).ModInverse(e, g.Q)
 	if d == nil {
 		// unreachable for prime q and 1 ≤ e < q, but fail loudly
 		return nil, fmt.Errorf("commutative: exponent not invertible")
 	}
-	return &Key{group: g, e: e, d: d}, nil
+	mod, err := modexp.NewModulus(g.P)
+	if err != nil {
+		return nil, fmt.Errorf("commutative: %w", err)
+	}
+	enc, err := modexp.NewEngine(mod, e)
+	if err != nil {
+		return nil, fmt.Errorf("commutative: %w", err)
+	}
+	dec, err := modexp.NewEngine(mod, d)
+	if err != nil {
+		return nil, fmt.Errorf("commutative: %w", err)
+	}
+	return &Key{group: g, e: e, d: d, enc: enc, dec: dec}, nil
 }
 
 // newKeyForTest builds a key from a fixed exponent; used by tests only.
@@ -57,11 +108,7 @@ func newKeyForTest(g *groups.Group, e *big.Int) (*Key, error) {
 	if em.Sign() == 0 {
 		return nil, fmt.Errorf("commutative: zero exponent")
 	}
-	d := new(big.Int).ModInverse(em, g.Q)
-	if d == nil {
-		return nil, fmt.Errorf("commutative: exponent not invertible")
-	}
-	return &Key{group: g, e: em, d: d}, nil
+	return keyFromExponent(g, em)
 }
 
 // Group returns the key's group.
@@ -70,12 +117,12 @@ func (k *Key) Group() *groups.Group { return k.group }
 // Encrypt computes f_e(x) = x^e mod p. x must be in QR(p): the function
 // returns an error otherwise, because applying it outside the subgroup
 // breaks both bijectivity and the security argument. The membership test
-// is itself a full exponentiation (x^q mod p), doubling the per-element
-// cost — callers whose inputs are group elements by construction should
-// use EncryptUnchecked instead.
+// is a Jacobi-symbol evaluation — cheap next to the exponentiation, but
+// not free; callers whose inputs are group elements by construction can
+// still use EncryptUnchecked.
 // seclint:sanitizer commutative encrypt boundary
 func (k *Key) Encrypt(x *big.Int) (*big.Int, error) {
-	opExp.Add(1) // the membership test is a full exponentiation
+	opQRTest.Add(1)
 	if !k.group.IsQuadraticResidue(x) {
 		return nil, fmt.Errorf("commutative: input not in QR(p)")
 	}
@@ -83,7 +130,7 @@ func (k *Key) Encrypt(x *big.Int) (*big.Int, error) {
 }
 
 // EncryptUnchecked computes f_e(x) = x^e mod p without the
-// quadratic-residue membership test, halving the cost of Encrypt.
+// quadratic-residue membership test.
 //
 // When to use which path:
 //
@@ -99,13 +146,14 @@ func (k *Key) Encrypt(x *big.Int) (*big.Int, error) {
 // seclint:sanitizer commutative encrypt boundary
 func (k *Key) EncryptUnchecked(x *big.Int) *big.Int {
 	opExp.Add(1)
-	return new(big.Int).Exp(x, k.e, k.group.P)
+	return k.enc.Exp(x)
 }
 
 // EncryptBatch encrypts a slice of QR(p) elements across a worker pool
 // (workers as in parallel.Resolve), preserving order. Inputs are
 // membership-checked like Encrypt; for trusted-origin batches map
-// EncryptUnchecked over the slice instead.
+// EncryptUnchecked over the slice instead. All workers share the key's
+// one engine — its schedule is read-only after key generation.
 // seclint:sanitizer commutative encrypt boundary
 func (k *Key) EncryptBatch(xs []*big.Int, workers int) ([]*big.Int, error) {
 	return parallel.Map(len(xs), workers, func(i int) (*big.Int, error) {
@@ -120,9 +168,9 @@ func (k *Key) EncryptBatch(xs []*big.Int, workers int) ([]*big.Int, error) {
 // and only range-checks the ciphertext: cross-encryption inputs are the
 // opposite source's ciphertexts, which are QR(p) elements by construction
 // (f_e permutes the subgroup), and the parties are semi-honest, so paying
-// a second exponentiation per element to re-verify membership buys
-// nothing. First-layer encryptions of genuinely untrusted inputs must
-// still use Encrypt — see EncryptUnchecked for the full argument.
+// a membership test per element to re-verify buys nothing. First-layer
+// encryptions of genuinely untrusted inputs must still use Encrypt — see
+// EncryptUnchecked for the full argument.
 // seclint:sanitizer commutative re-encrypt boundary
 func (k *Key) ReEncrypt(c *big.Int) (*big.Int, error) {
 	if c == nil || c.Sign() <= 0 || c.Cmp(k.group.P) >= 0 {
@@ -131,12 +179,42 @@ func (k *Key) ReEncrypt(c *big.Int) (*big.Int, error) {
 	return k.EncryptUnchecked(c), nil
 }
 
-// Decrypt computes f_e⁻¹(y) = y^d mod p.
+// ReEncryptBatch re-encrypts a slice of ciphertexts across a worker pool
+// (workers as in parallel.Resolve), preserving order. Inputs are
+// range-checked like ReEncrypt — and, like it, NOT membership-tested:
+// the batch form exists for the protocol's cross-encryption step, whose
+// inputs are the opposite source's ciphertexts and hence QR(p) elements
+// by construction. All workers share the key's one engine. This is the
+// hot loop of the commutative protocol: 2·(n+m) of the run's
+// exponentiations flow through here.
+// seclint:sanitizer commutative re-encrypt boundary
+func (k *Key) ReEncryptBatch(cs []*big.Int, workers int) ([]*big.Int, error) {
+	return parallel.Map(len(cs), workers, func(i int) (*big.Int, error) {
+		return k.ReEncrypt(cs[i])
+	})
+}
+
+// Decrypt computes f_e⁻¹(y) = y^d mod p. The ciphertext is
+// membership-tested (Jacobi symbol) before the inversion exponentiation.
 // seclint:source commutative decryption output
 func (k *Key) Decrypt(y *big.Int) (*big.Int, error) {
-	opExp.Add(2) // membership test + inversion exponentiation
+	opQRTest.Add(1)
 	if !k.group.IsQuadraticResidue(y) {
 		return nil, fmt.Errorf("commutative: ciphertext not in QR(p)")
 	}
-	return new(big.Int).Exp(y, k.d, k.group.P), nil
+	opExp.Add(1)
+	return k.dec.Exp(y), nil
+}
+
+// DecryptBatch decrypts a slice of ciphertexts across a worker pool
+// (workers as in parallel.Resolve), preserving order. Inputs are
+// membership-checked like Decrypt. All workers share the key's one
+// decryption engine. Note d is full-length even for short-exponent keys
+// (see GenerateKey), so batch decryption costs full-ladder
+// exponentiations — it parallelizes, but does not shorten, the ladder.
+// seclint:source commutative decryption output
+func (k *Key) DecryptBatch(ys []*big.Int, workers int) ([]*big.Int, error) {
+	return parallel.Map(len(ys), workers, func(i int) (*big.Int, error) {
+		return k.Decrypt(ys[i])
+	})
 }

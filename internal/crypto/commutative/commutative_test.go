@@ -284,3 +284,119 @@ func findNonResidue(t *testing.T, g *groups.Group) *big.Int {
 	t.Fatal("no small non-residue found")
 	return nil
 }
+
+// TestReEncryptBatch mirrors TestEncryptBatch for the second-layer batch
+// path: order preservation across worker counts, agreement with the
+// scalar ReEncrypt, and whole-batch failure on a range violation.
+func TestReEncryptBatch(t *testing.T) {
+	g := testGroup(t)
+	k1, _ := GenerateKey(g, rand.Reader)
+	k2, _ := GenerateKey(g, rand.Reader)
+	cs := make([]*big.Int, 33)
+	for i := range cs {
+		x, err := g.RandomElement(rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cs[i], err = k1.Encrypt(x); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, workers := range []int{1, 4, 0} {
+		got, err := k2.ReEncryptBatch(cs, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range cs {
+			want, _ := k2.ReEncrypt(cs[i])
+			if got[i].Cmp(want) != 0 {
+				t.Fatalf("workers=%d: batch element %d mismatch", workers, i)
+			}
+		}
+	}
+	bad := append([]*big.Int(nil), cs...)
+	bad[11] = new(big.Int).Set(g.P)
+	if _, err := k2.ReEncryptBatch(bad, 4); err == nil {
+		t.Fatal("batch accepted an out-of-range ciphertext")
+	}
+}
+
+// TestDecryptBatch mirrors TestEncryptBatch for the decryption batch
+// path, including whole-batch failure on a non-residue.
+func TestDecryptBatch(t *testing.T) {
+	g := testGroup(t)
+	k, _ := GenerateKey(g, rand.Reader)
+	xs := make([]*big.Int, 33)
+	cs := make([]*big.Int, len(xs))
+	for i := range xs {
+		x, err := g.RandomElement(rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		xs[i] = x
+		if cs[i], err = k.Encrypt(x); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, workers := range []int{1, 4, 0} {
+		got, err := k.DecryptBatch(cs, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range xs {
+			if got[i].Cmp(xs[i]) != 0 {
+				t.Fatalf("workers=%d: batch element %d did not round-trip", workers, i)
+			}
+		}
+	}
+	bad := append([]*big.Int(nil), cs...)
+	bad[7] = findNonResidue(t, g)
+	if _, err := k.DecryptBatch(bad, 4); err == nil {
+		t.Fatal("batch accepted a non-residue ciphertext")
+	}
+}
+
+// TestShortExponentKey checks the production path end-to-end on a real
+// RFC 3526 group: GenerateKey draws a short exponent there, and the key
+// must still round-trip, commute with a full-exponent key, and satisfy
+// the exact-bit-length policy.
+func TestShortExponentKey(t *testing.T) {
+	g := groups.MODP1536()
+	ks, err := GenerateKey(g, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := ks.e.BitLen(), g.ShortExponentBits(); got != want {
+		t.Fatalf("short key exponent bit length = %d, want %d", got, want)
+	}
+	kf, err := GenerateKeyFullExponent(g, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kf.e.BitLen() <= g.ShortExponentBits() {
+		t.Logf("full-exponent key drew %d bits (possible but unlikely)", kf.e.BitLen())
+	}
+	x, err := g.RandomElement(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := ks.Encrypt(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ks.Decrypt(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Cmp(x) != 0 {
+		t.Fatal("short-exponent key did not round-trip")
+	}
+	// Commutativity across short and full keys.
+	a, _ := ks.Encrypt(x)
+	ab, _ := kf.ReEncrypt(a)
+	b, _ := kf.Encrypt(x)
+	ba, _ := ks.ReEncrypt(b)
+	if ab.Cmp(ba) != 0 {
+		t.Fatal("short and full exponent keys do not commute")
+	}
+}

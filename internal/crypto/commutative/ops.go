@@ -2,7 +2,13 @@ package commutative
 
 import "github.com/secmediation/secmediation/internal/telemetry"
 
-// opExp counts full modular exponentiations in the group — the unit the
-// paper's cost model charges the commutative protocol in. Membership
-// tests (x^q mod p) count like encryptions because they cost the same.
+// opExp counts modular exponentiations in the group — the unit the
+// paper's cost model charges the commutative protocol in. Since the QR
+// membership test moved to the Jacobi symbol it is counted separately
+// (opQRTest): it no longer costs an exponentiation, and folding it in
+// here made opExp over-report actual ladder work by 2×.
 var opExp = telemetry.CryptoOp("commutative.exp")
+
+// opQRTest counts quadratic-residue membership tests (Jacobi symbol —
+// a gcd-like pass, ~20× cheaper than the exponentiation it replaced).
+var opQRTest = telemetry.CryptoOp("commutative.qrtest")

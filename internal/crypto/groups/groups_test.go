@@ -114,3 +114,79 @@ func TestRandomExponentRange(t *testing.T) {
 		t.Errorf("exponents not spread: %v", seen)
 	}
 }
+
+// TestJacobiMatchesEulerCriterion cross-checks the Jacobi-symbol QR test
+// against the Euler-criterion exponentiation it replaced, over residues,
+// non-residues, and range edges.
+func TestJacobiMatchesEulerCriterion(t *testing.T) {
+	gs := []*Group{
+		{P: big.NewInt(23), Q: big.NewInt(11)},
+		MODP1536(),
+	}
+	for _, g := range gs {
+		for i := 0; i < 40; i++ {
+			max := new(big.Int).Sub(g.P, big.NewInt(2))
+			x, err := rand.Int(rand.Reader, max)
+			if err != nil {
+				t.Fatal(err)
+			}
+			x.Add(x, big.NewInt(1)) // [1, P-2]
+			euler := new(big.Int).Exp(x, g.Q, g.P).Cmp(big.NewInt(1)) == 0
+			if got := g.IsQuadraticResidue(x); got != euler {
+				t.Fatalf("P=%d bits, x=%v: Jacobi=%v Euler=%v", g.Bits(), x, got, euler)
+			}
+		}
+		// Range edges stay rejected regardless of symbol.
+		for _, bad := range []*big.Int{big.NewInt(0), big.NewInt(-4), g.P, new(big.Int).Add(g.P, big.NewInt(1))} {
+			if g.IsQuadraticResidue(bad) {
+				t.Errorf("P=%d bits: IsQuadraticResidue(%v) = true, want false", g.Bits(), bad)
+			}
+		}
+	}
+}
+
+// TestRandomShortExponent checks the short-exponent policy: exact bit
+// length, oddness, validity as a commutative key (coprime to Q), and the
+// full-length fallback for small test groups.
+func TestRandomShortExponent(t *testing.T) {
+	g := MODP2048()
+	want := g.ShortExponentBits()
+	if want != 256 {
+		t.Fatalf("MODP2048 ShortExponentBits = %d, want 256", want)
+	}
+	for i := 0; i < 20; i++ {
+		e, err := g.RandomShortExponent(rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e.BitLen() != want {
+			t.Fatalf("short exponent bit length %d, want %d", e.BitLen(), want)
+		}
+		if e.Bit(0) != 1 {
+			t.Fatalf("short exponent %v is even", e)
+		}
+		if new(big.Int).GCD(nil, nil, e, g.Q).Cmp(big.NewInt(1)) != 0 {
+			t.Fatalf("short exponent %v not coprime to Q", e)
+		}
+	}
+	if got := MODP1536().ShortExponentBits(); got != 224 {
+		t.Errorf("MODP1536 ShortExponentBits = %d, want 224", got)
+	}
+	if got := MODP3072().ShortExponentBits(); got != 288 {
+		t.Errorf("MODP3072 ShortExponentBits = %d, want 288", got)
+	}
+	// Tiny test groups fall back to full-length RandomExponent.
+	tiny := &Group{P: big.NewInt(23), Q: big.NewInt(11)}
+	if tiny.ShortExponentBits() != 0 {
+		t.Error("tiny group should report ShortExponentBits 0")
+	}
+	for i := 0; i < 20; i++ {
+		e, err := tiny.RandomShortExponent(rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e.Sign() <= 0 || e.Cmp(tiny.Q) >= 0 {
+			t.Fatalf("fallback exponent %v out of [1, Q-1]", e)
+		}
+	}
+}

@@ -21,6 +21,8 @@ import (
 	"io"
 	"math/big"
 	"sync/atomic"
+
+	"github.com/secmediation/secmediation/internal/parallel"
 )
 
 var one = big.NewInt(1)
@@ -279,6 +281,28 @@ func (pk *PublicKey) EncryptInt64(rnd io.Reader, m int64) (*Ciphertext, error) {
 		return nil, fmt.Errorf("paillier: negative plaintext %d", m)
 	}
 	return pk.Encrypt(rnd, big.NewInt(m))
+}
+
+// EncryptBatch encrypts a slice of plaintexts (each in [0, n)) across a
+// worker pool (workers as in parallel.Resolve), preserving order. The
+// fixed-base randomizer table is built eagerly before the pool starts —
+// a batch is by definition hot enough to amortize it — so every worker
+// draws its randomizers from the shared table instead of racing through
+// the warmup counter with full-width exponentiations. rnd must be safe
+// for concurrent use (crypto/rand.Reader is).
+// seclint:sanitizer Paillier encrypt boundary
+func (pk *PublicKey) EncryptBatch(rnd io.Reader, ms []*big.Int, workers int) ([]*Ciphertext, error) {
+	if len(ms) > 1 {
+		if err := pk.Precompute(rnd); err != nil {
+			return nil, err
+		}
+	}
+	return parallel.Map(len(ms), workers, func(i int) (*Ciphertext, error) {
+		if ms[i] == nil {
+			return nil, fmt.Errorf("paillier: nil plaintext at index %d", i)
+		}
+		return pk.Encrypt(rnd, ms[i])
+	})
 }
 
 // EncryptSigned encrypts a possibly negative value by reducing it modulo n

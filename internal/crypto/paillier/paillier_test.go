@@ -348,3 +348,45 @@ func TestWarmupTriggersPrecompute(t *testing.T) {
 		t.Fatalf("post-warmup decrypt = %v, %v", got, err)
 	}
 }
+
+// TestEncryptBatch checks the batch entry point: order preservation and
+// scalar-path agreement across worker counts, eager table construction,
+// and whole-batch failure on a bad plaintext.
+func TestEncryptBatch(t *testing.T) {
+	k := testKeypair(t)
+	pk := &PublicKey{N: k.N, NSquared: k.NSquared} // fresh key: no table yet
+	ms := make([]*big.Int, 25)
+	for i := range ms {
+		ms[i] = big.NewInt(int64(1000 + i))
+	}
+	for _, workers := range []int{1, 4, 0} {
+		cs, err := pk.EncryptBatch(rand.Reader, ms, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(cs) != len(ms) {
+			t.Fatalf("workers=%d: got %d ciphertexts", workers, len(cs))
+		}
+		for i, c := range cs {
+			m, err := k.Decrypt(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if m.Cmp(ms[i]) != 0 {
+				t.Fatalf("workers=%d: element %d decrypts to %v, want %v", workers, i, m, ms[i])
+			}
+		}
+	}
+	if pk.fb.Load() == nil {
+		t.Error("EncryptBatch did not build the fixed-base table eagerly")
+	}
+	bad := append([]*big.Int(nil), ms...)
+	bad[13] = new(big.Int).Neg(one)
+	if _, err := pk.EncryptBatch(rand.Reader, bad, 4); err == nil {
+		t.Error("batch accepted an out-of-range plaintext")
+	}
+	bad[13] = nil
+	if _, err := pk.EncryptBatch(rand.Reader, bad, 4); err == nil {
+		t.Error("batch accepted a nil plaintext")
+	}
+}

@@ -130,17 +130,20 @@ func (s *Source) serveCommutative(conn transport.Conn, pq *PartialQuery, rel *re
 	err = watch.phase(telemetry.PhaseCrossEncrypt, func() error {
 		// Both sources learn the opposite active-domain size (Section 6).
 		s.Ledger.Observe(s.party(), "|domactive(opposite)|", int64(len(cross.Items)))
-		var err error
-		back.Items, err = parallel.Map(len(cross.Items), pq.Params.Workers, func(i int) (commItem, error) {
-			it := cross.Items[i]
-			h2, err := key.ReEncrypt(it.Hash)
-			if err != nil {
-				return commItem{}, err
-			}
-			return commItem{Hash: h2, Payload: it.Payload, ID: it.ID}, nil
-		})
+		// The second encryption layer is pure fixed-exponent modexp work —
+		// exactly what the key's batch path exists for: one shared window
+		// schedule across the pool, order preserved.
+		hashes := make([]*big.Int, len(cross.Items))
+		for i, it := range cross.Items {
+			hashes[i] = it.Hash
+		}
+		doubled, err := key.ReEncryptBatch(hashes, pq.Params.Workers)
 		if err != nil {
 			return err
+		}
+		back.Items = make([]commItem, len(cross.Items))
+		for i, it := range cross.Items {
+			back.Items[i] = commItem{Hash: doubled[i], Payload: it.Payload, ID: it.ID}
 		}
 		s.Ledger.UsePrimitive(s.party(), "commutative-encryption", int64(len(cross.Items)))
 		return shuffleItems(back.Items)
@@ -366,17 +369,23 @@ func CommutativeIntersection(g *groups.Group, label string, receiver, sender []r
 		return nil, err
 	}
 	orc := oracle.New(g, label)
-	// Each value costs two modexps (first layer + cross layer); both fan
-	// out over the pool. Oracle outputs are QR(p) by construction, so the
-	// first layer takes the unchecked path.
+	// Each value costs two modexps (first layer + cross layer). The first
+	// layer fans hash+encrypt out over the pool (oracle outputs are QR(p)
+	// by construction, so it takes the unchecked path); the second layer
+	// goes through the key's batch entry point, sharing one engine.
 	double := func(vals []relation.Value, first, second *commutative.Key) ([]string, error) {
-		return parallel.Map(len(vals), workers, func(i int) (string, error) {
-			c := first.EncryptUnchecked(orc.HashValue(vals[i]))
-			d, err := second.ReEncrypt(c)
-			if err != nil {
-				return "", err
-			}
-			return d.Text(16), nil
+		layer1, err := parallel.Map(len(vals), workers, func(i int) (*big.Int, error) {
+			return first.EncryptUnchecked(orc.HashValue(vals[i])), nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		layer2, err := second.ReEncryptBatch(layer1, workers)
+		if err != nil {
+			return nil, err
+		}
+		return parallel.Map(len(layer2), workers, func(i int) (string, error) {
+			return layer2[i].Text(16), nil
 		})
 	}
 	// Sender: f_s(h(u)) for its values, shared with receiver, who

@@ -158,9 +158,7 @@ func (s *Source) servePM(conn transport.Conn, pq *PartialQuery, rel *relation.Re
 		// homomorphic multiply-adds plus a masking and a re-randomization
 		// exponentiation per value — dominate the sender's cost; fan them
 		// out over the worker pool.
-		evals.Evals, err = parallel.Map(len(groupsByKey), pq.Params.Workers, func(i int) (*paillier.Ciphertext, error) {
-			return cross.Buckets.MaskedEval(pk, roots[i], packed[i])
-		})
+		evals.Evals, err = cross.Buckets.MaskedEvalBatch(pk, roots, packed, pq.Params.Workers)
 		if err != nil {
 			return err
 		}

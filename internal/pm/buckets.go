@@ -90,9 +90,11 @@ func (b *Buckets) Encrypt(pk *paillier.PublicKey, workers int) (*EncryptedBucket
 		return nil, fmt.Errorf("pm: bucket modulus differs from key modulus")
 	}
 	stride := b.MaxDegree() + 1 // every bucket is padded to uniform degree
-	flat, err := parallel.Map(len(b.Polys)*stride, workers, func(i int) (*paillier.Ciphertext, error) {
-		return pk.Encrypt(rand.Reader, b.Polys[i/stride].Coeffs[i%stride])
-	})
+	plain := make([]*big.Int, len(b.Polys)*stride)
+	for i := range plain {
+		plain[i] = b.Polys[i/stride].Coeffs[i%stride]
+	}
+	flat, err := pk.EncryptBatch(rand.Reader, plain, workers)
 	if err != nil {
 		return nil, err
 	}
@@ -110,4 +112,24 @@ func (eb *EncryptedBuckets) MaskedEval(pk *paillier.PublicKey, a, m *big.Int) (*
 	}
 	i := BucketIndex(a, len(eb.Polys))
 	return eb.Polys[i].MaskedEval(pk, a, m)
+}
+
+// MaskedEvalBatch runs MaskedEval for every (root, message) pair across a
+// worker pool (workers as in parallel.Resolve), preserving order — the
+// sender-side hot loop of the PM protocol's oblivious-evaluation step.
+// The key's fixed-base randomizer table is built eagerly before the pool
+// starts, so each evaluation's mask-and-rerandomize encryptions are
+// windowed table lookups instead of full-width exponentiations.
+func (eb *EncryptedBuckets) MaskedEvalBatch(pk *paillier.PublicKey, as, ms []*big.Int, workers int) ([]*paillier.Ciphertext, error) {
+	if len(as) != len(ms) {
+		return nil, fmt.Errorf("pm: %d roots but %d messages", len(as), len(ms))
+	}
+	if len(as) > 1 {
+		if err := pk.Precompute(rand.Reader); err != nil {
+			return nil, err
+		}
+	}
+	return parallel.Map(len(as), workers, func(i int) (*paillier.Ciphertext, error) {
+		return eb.MaskedEval(pk, as[i], ms[i])
+	})
 }

@@ -325,3 +325,50 @@ func TestUnpackRejectsTamperedTag(t *testing.T) {
 		t.Fatal("control message no longer unpacks")
 	}
 }
+
+// TestMaskedEvalBatch checks the batch oblivious-evaluation path against
+// the scalar MaskedEval semantics: roots of the polynomial reveal their
+// payload, non-roots decrypt to garbage, order is preserved across
+// worker counts, and length mismatches are rejected.
+func TestMaskedEvalBatch(t *testing.T) {
+	k := testKey(t)
+	pk := &k.PublicKey
+	roots := []*big.Int{RootOfValue(rel.Int(1)), RootOfValue(rel.Int(2)), RootOfValue(rel.Int(3))}
+	bs, err := BuildBuckets(roots, 2, pk.N)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ebs, err := bs.Encrypt(pk, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	as := []*big.Int{
+		roots[0],
+		RootOfValue(rel.Int(99)), // not a root
+		roots[2],
+		roots[1],
+	}
+	ms := []*big.Int{big.NewInt(1111), big.NewInt(2222), big.NewInt(3333), big.NewInt(4444)}
+	for _, workers := range []int{1, 3, 0} {
+		cs, err := ebs.MaskedEvalBatch(pk, as, ms, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, c := range cs {
+			got, err := k.Decrypt(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			isRoot := i != 1
+			if isRoot && got.Cmp(ms[i]) != 0 {
+				t.Fatalf("workers=%d: root %d decrypts to %v, want payload %v", workers, i, got, ms[i])
+			}
+			if !isRoot && got.Cmp(ms[i]) == 0 {
+				t.Fatalf("workers=%d: non-root revealed its payload", workers)
+			}
+		}
+	}
+	if _, err := ebs.MaskedEvalBatch(pk, as, ms[:2], 2); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}

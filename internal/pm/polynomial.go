@@ -20,7 +20,6 @@ import (
 	"math/big"
 
 	"github.com/secmediation/secmediation/internal/crypto/paillier"
-	"github.com/secmediation/secmediation/internal/parallel"
 	"github.com/secmediation/secmediation/internal/relation"
 )
 
@@ -112,9 +111,7 @@ func (p *Polynomial) Encrypt(pk *paillier.PublicKey, workers int) (*EncryptedPol
 	if pk.N.Cmp(p.N) != 0 {
 		return nil, fmt.Errorf("pm: polynomial modulus differs from key modulus")
 	}
-	coeffs, err := parallel.Map(len(p.Coeffs), workers, func(i int) (*paillier.Ciphertext, error) {
-		return pk.Encrypt(rand.Reader, p.Coeffs[i])
-	})
+	coeffs, err := pk.EncryptBatch(rand.Reader, p.Coeffs, workers)
 	if err != nil {
 		return nil, err
 	}
