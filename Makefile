@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all ci vet lint lint-json build test test-short race chaos bench bench-smoke parallel-report telemetry-report large-report
+.PHONY: all ci vet lint lint-json lint-sarif build test test-short race chaos bench bench-smoke parallel-report telemetry-report large-report
 
 all: vet lint build test race
 
@@ -25,6 +25,10 @@ lint:
 # Machine-readable findings for tooling; same gate, JSON array output.
 lint-json:
 	$(GO) run ./cmd/seclint -json
+
+# SARIF 2.1.0 log for code-scanning dashboards; same gate.
+lint-sarif:
+	$(GO) run ./cmd/seclint -sarif
 
 build:
 	$(GO) build ./...

@@ -28,6 +28,11 @@ type commutativeEngineRun struct {
 	QRTestEulerNs  int64   `json:"qrtest_euler_ns_per_op"`
 	QRTestJacobiNs int64   `json:"qrtest_jacobi_ns_per_op"`
 	QRTestSpeedup  float64 `json:"qrtest_speedup"`
+	// The constant-time ladder (GenerateKeyConstantTime) against the
+	// calibrated short-exponent engine on the same path: the price of
+	// a secret-independent execution trajectory (docs/SECURITY.md).
+	CTLadderNsPerOp  int64   `json:"ct_ladder_ns_per_op"`
+	CTLadderOverhead float64 `json:"ct_ladder_overhead"`
 }
 
 // benchGroup resolves the -groupbits flag to its RFC 3526 group.
@@ -60,6 +65,10 @@ func measureCommutativeEngine(groupBits, values int) (commutativeEngineRun, erro
 	if err != nil {
 		return commutativeEngineRun{}, err
 	}
+	ct, err := commutative.GenerateKeyConstantTime(g, rand.Reader)
+	if err != nil {
+		return commutativeEngineRun{}, err
+	}
 	xs := make([]*big.Int, values)
 	for i := range xs {
 		if xs[i], err = g.RandomElement(rand.Reader); err != nil {
@@ -82,6 +91,10 @@ func measureCommutativeEngine(groupBits, values int) (commutativeEngineRun, erro
 		return commutativeEngineRun{}, err
 	}
 	shortNs, err := crossWall(short)
+	if err != nil {
+		return commutativeEngineRun{}, err
+	}
+	ctNs, err := crossWall(ct)
 	if err != nil {
 		return commutativeEngineRun{}, err
 	}
@@ -114,5 +127,8 @@ func measureCommutativeEngine(groupBits, values int) (commutativeEngineRun, erro
 		QRTestEulerNs:  eulerNs,
 		QRTestJacobiNs: jacobiNs,
 		QRTestSpeedup:  float64(eulerNs) / float64(jacobiNs),
+
+		CTLadderNsPerOp:  ctNs,
+		CTLadderOverhead: float64(ctNs) / float64(shortNs),
 	}, nil
 }

@@ -130,10 +130,13 @@ func (h *harness) tableParallel(jsonPath string) error {
 		eng.FullExpBits, time.Duration(eng.FullNsPerOp).Round(time.Microsecond),
 		eng.ShortExpBits, time.Duration(eng.ShortNsPerOp).Round(time.Microsecond),
 		eng.Speedup)
-	fmt.Printf("commutative QR membership test: euler %s/op, jacobi %s/op (%.1fx)\n\n",
+	fmt.Printf("commutative QR membership test: euler %s/op, jacobi %s/op (%.1fx)\n",
 		time.Duration(eng.QRTestEulerNs).Round(time.Microsecond),
 		time.Duration(eng.QRTestJacobiNs).Round(time.Microsecond),
 		eng.QRTestSpeedup)
+	fmt.Printf("constant-time ladder (same short exponents, fixed-window): %s/op (%.2fx the calibrated engine)\n\n",
+		time.Duration(eng.CTLadderNsPerOp).Round(time.Microsecond),
+		eng.CTLadderOverhead)
 
 	return writeReport(jsonPath, report)
 }

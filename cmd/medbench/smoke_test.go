@@ -79,6 +79,9 @@ func TestBenchSmoke(t *testing.T) {
 	if eng.QRTestJacobiNs <= 0 || eng.QRTestSpeedup <= 0 {
 		t.Errorf("engine entry missing QR-test times: %+v", eng)
 	}
+	if eng.CTLadderNsPerOp <= 0 || eng.CTLadderOverhead <= 0 {
+		t.Errorf("engine entry missing constant-time ladder times: %+v", eng)
+	}
 
 	phasesPath := filepath.Join(dir, "phases.json")
 	if err := h.tablePhases(phasesPath); err != nil {

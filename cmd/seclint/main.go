@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	seclint [-json] [-allow file] [-list] [patterns...]
+//	seclint [-json] [-sarif] [-allow file] [-list] [patterns...]
 //
 // Patterns default to ./... (every package under the module root,
 // excluding testdata). A pattern "dir/..." analyzes the subtree; a bare
@@ -35,6 +35,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("seclint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	jsonOut := fs.Bool("json", false, "emit findings as a JSON array")
+	sarifOut := fs.Bool("sarif", false, "emit findings as a SARIF 2.1.0 log")
 	allowFile := fs.String("allow", "", "allowlist file (default: seclint.allow at the module root, if present)")
 	list := fs.Bool("list", false, "list analyzers and exit")
 	prune := fs.Bool("prune", false, "rewrite the allowlist dropping entries that suppressed nothing")
@@ -107,7 +108,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
-	if *jsonOut {
+	switch {
+	case *sarifOut:
+		if err := seclint.WriteSARIF(stdout, findings, seclint.All); err != nil {
+			fmt.Fprintf(stderr, "seclint: %v\n", err)
+			return 2
+		}
+	case *jsonOut:
 		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
 		if findings == nil {
@@ -117,13 +124,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stderr, "seclint: %v\n", err)
 			return 2
 		}
-	} else {
+	default:
 		for _, f := range findings {
 			fmt.Fprintln(stdout, f)
 		}
 	}
 	if len(findings) > 0 {
-		if !*jsonOut {
+		if !*jsonOut && !*sarifOut {
 			fmt.Fprintf(stderr, "seclint: %d finding(s)\n", len(findings))
 		}
 		return 1

@@ -59,6 +59,74 @@ func TestRunJSON(t *testing.T) {
 	}
 }
 
+// TestRunSARIF checks the -sarif mode emits a schema-conformant
+// SARIF 2.1.0 log whose results resolve rule indices, and that the
+// exit code still gates the build.
+func TestRunSARIF(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-sarif", "-allow", emptyAllow(t), "internal/seclint/testdata/src/weakrand"}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1 (stderr: %s)", code, errb.String())
+	}
+	var log struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				RuleIndex int    `json:"ruleIndex"`
+				Level     string `json:"level"`
+				Message   struct {
+					Text string `json:"text"`
+				} `json:"message"`
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine int `json:"startLine"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &log); err != nil {
+		t.Fatalf("output is not a SARIF log: %v\n%s", err, out.String())
+	}
+	if log.Version != "2.1.0" || len(log.Runs) != 1 {
+		t.Fatalf("unexpected log shape: version %q, %d runs", log.Version, len(log.Runs))
+	}
+	r := log.Runs[0]
+	if r.Tool.Driver.Name != "seclint" || len(r.Tool.Driver.Rules) != len(seclint.All) {
+		t.Errorf("driver %q with %d rules, want seclint with %d",
+			r.Tool.Driver.Name, len(r.Tool.Driver.Rules), len(seclint.All))
+	}
+	if len(r.Results) != 1 {
+		t.Fatalf("got %d results, want 1: %s", len(r.Results), out.String())
+	}
+	res := r.Results[0]
+	if res.RuleID != "weakrand" || res.Level != "error" || !strings.Contains(res.Message.Text, "math/rand") {
+		t.Errorf("unexpected result: %+v", res)
+	}
+	if res.RuleIndex < 0 || res.RuleIndex >= len(r.Tool.Driver.Rules) ||
+		r.Tool.Driver.Rules[res.RuleIndex].ID != res.RuleID {
+		t.Errorf("ruleIndex %d does not resolve to %q", res.RuleIndex, res.RuleID)
+	}
+	loc := res.Locations[0].PhysicalLocation
+	if !strings.HasSuffix(loc.ArtifactLocation.URI, "weakrand.go") || loc.Region.StartLine == 0 {
+		t.Errorf("unexpected location: %+v", loc)
+	}
+}
+
 // TestRunRepoTreeClean is the gate the Makefile relies on: the real
 // tree (default ./... patterns with the repository allowlist) must
 // produce zero findings.
@@ -145,7 +213,7 @@ func TestRunList(t *testing.T) {
 	if code := run([]string{"-list"}, &out, &errb); code != 0 {
 		t.Fatalf("-list exit code = %d", code)
 	}
-	for _, name := range []string{"weakrand", "subtlecmp", "secretfmt", "errdrop", "rawexp", "rawrecv", "plaintaint", "keyscope"} {
+	for _, name := range []string{"weakrand", "subtlecmp", "secretfmt", "errdrop", "rawexp", "rawrecv", "plaintaint", "keyscope", "cttaint"} {
 		if !strings.Contains(out.String(), name) {
 			t.Errorf("-list output missing %s:\n%s", name, out.String())
 		}

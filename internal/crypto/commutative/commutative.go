@@ -45,8 +45,8 @@ import (
 // seclint:private commutative-encryption exponent
 type Key struct {
 	group *groups.Group
-	e     *big.Int       // encryption exponent, 1 ≤ e < q
-	d     *big.Int       // decryption exponent, e·d ≡ 1 (mod q)
+	e     *big.Int       // seclint:secret encryption exponent, 1 ≤ e < q
+	d     *big.Int       // seclint:secret decryption exponent, e·d ≡ 1 (mod q)
 	enc   *modexp.Engine // engine for x ↦ x^e mod p
 	dec   *modexp.Engine // engine for y ↦ y^d mod p
 }
@@ -79,9 +79,33 @@ func GenerateKeyFullExponent(g *groups.Group, rnd io.Reader) (*Key, error) {
 	return keyFromExponent(g, e)
 }
 
+// GenerateKeyConstantTime draws a short exponent like GenerateKey but
+// runs every exponentiation through the fixed-window constant-time
+// ladder (modexp.ExpConstantTime): the execution trajectory depends only
+// on the group and the public exponent-length bound, never on the
+// exponent's bits, closing the timing side channel the cttaint analyzer
+// flags on the calibrated engines. The encrypt ladder is padded to the
+// group's short-exponent bound and the decrypt ladder to |q|, so the pad
+// reveals only what the drawing procedure already fixes. Costs the
+// skipped-work the sliding window exploits; `medbench -table engine`
+// records the overhead.
+func GenerateKeyConstantTime(g *groups.Group, rnd io.Reader) (*Key, error) {
+	e, err := g.RandomShortExponent(rnd)
+	if err != nil {
+		return nil, err
+	}
+	return keyFromExponentOpt(g, e, true)
+}
+
 // keyFromExponent completes a key: inverse exponent, shared Montgomery
 // context, and the two window-schedule engines.
 func keyFromExponent(g *groups.Group, e *big.Int) (*Key, error) {
+	return keyFromExponentOpt(g, e, false)
+}
+
+// keyFromExponentOpt builds the key's engines, constant-time or
+// calibrated variable-time.
+func keyFromExponentOpt(g *groups.Group, e *big.Int, constantTime bool) (*Key, error) {
 	d := new(big.Int).ModInverse(e, g.Q)
 	if d == nil {
 		// unreachable for prime q and 1 ≤ e < q, but fail loudly
@@ -90,6 +114,25 @@ func keyFromExponent(g *groups.Group, e *big.Int) (*Key, error) {
 	mod, err := modexp.NewModulus(g.P)
 	if err != nil {
 		return nil, fmt.Errorf("commutative: %w", err)
+	}
+	if constantTime {
+		// The public pad bounds: encryption exponents are drawn to the
+		// group's short-exponent length (or |q| below the threshold);
+		// decryption exponents are full-length in [1, q-1] either way.
+		encBits := g.ShortExponentBits()
+		if encBits == 0 || encBits >= g.Q.BitLen() {
+			encBits = g.Q.BitLen()
+		}
+		decBits := g.Q.BitLen()
+		enc, err := modexp.NewEngineConstantTime(mod, e, encBits)
+		if err != nil {
+			return nil, fmt.Errorf("commutative: %w", err)
+		}
+		dec, err := modexp.NewEngineConstantTime(mod, d, decBits)
+		if err != nil {
+			return nil, fmt.Errorf("commutative: %w", err)
+		}
+		return &Key{group: g, e: e, d: d, enc: enc, dec: dec}, nil
 	}
 	enc, err := modexp.NewEngine(mod, e)
 	if err != nil {
@@ -143,6 +186,7 @@ func (k *Key) Encrypt(x *big.Int) (*big.Int, error) {
 //     encryptions may skip the test.
 //   - Our own ciphertexts are elements of QR(p) because f_e maps the
 //     subgroup onto itself, so re-encryption layers may skip it too.
+//
 // seclint:sanitizer commutative encrypt boundary
 func (k *Key) EncryptUnchecked(x *big.Int) *big.Int {
 	opExp.Add(1)

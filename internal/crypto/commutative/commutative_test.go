@@ -400,3 +400,76 @@ func TestShortExponentKey(t *testing.T) {
 		t.Fatal("short and full exponent keys do not commute")
 	}
 }
+
+// TestGenerateKeyConstantTime checks the constant-time key end to end:
+// roundtrip, commutation with a calibrated variable-time key, and exact
+// agreement with the textbook f_e(x) = x^e mod p on both layers — the
+// ladder change must be invisible in the transcript.
+func TestGenerateKeyConstantTime(t *testing.T) {
+	g := testGroup(t)
+	ct, err := GenerateKeyConstantTime(g, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vt, err := GenerateKey(g, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		x, err := g.RandomElement(rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := ct.Encrypt(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := new(big.Int).Exp(x, ct.e, g.P); c.Cmp(want) != 0 {
+			t.Fatalf("ct encrypt diverges from x^e mod p: %v vs %v", c, want)
+		}
+		back, err := ct.Decrypt(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if back.Cmp(x) != 0 {
+			t.Fatalf("ct roundtrip: %v vs %v", back, x)
+		}
+		// Commutation across ladder implementations.
+		ab, err := vt.ReEncrypt(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c2, err := vt.Encrypt(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ba, err := ct.ReEncrypt(c2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ab.Cmp(ba) != 0 {
+			t.Fatalf("ct/vt keys do not commute: %v vs %v", ab, ba)
+		}
+	}
+	// Batch path shares the constant-time engine across workers.
+	xs := make([]*big.Int, 9)
+	for i := range xs {
+		var err error
+		if xs[i], err = g.RandomElement(rand.Reader); err != nil {
+			t.Fatal(err)
+		}
+	}
+	enc, err := ct.EncryptBatch(xs, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := ct.DecryptBatch(enc, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range xs {
+		if dec[i].Cmp(xs[i]) != 0 {
+			t.Fatalf("batch roundtrip index %d: %v vs %v", i, dec[i], xs[i])
+		}
+	}
+}

@@ -83,6 +83,8 @@ func (g *Group) Square(x *big.Int) *big.Int {
 // RandomExponent draws a uniformly random exponent e in [1, Q-1]. Because
 // Q is prime every such e is coprime to Q, hence invertible mod Q — a valid
 // commutative encryption key.
+//
+// seclint:secret drawn commutative-encryption exponent
 func (g *Group) RandomExponent(rnd io.Reader) (*big.Int, error) {
 	max := new(big.Int).Sub(g.Q, one) // draw from [0, Q-2], shift to [1, Q-1]
 	e, err := rand.Int(rnd, max)
@@ -125,6 +127,8 @@ func (g *Group) ShortExponentBits() int {
 // below the short-exponent threshold it falls back to RandomExponent.
 // Oddness plus ℓ < |Q| guarantees 1 ≤ e < Q with gcd(e, Q) = 1 — Q is
 // prime — so every result is a valid commutative-encryption key.
+//
+// seclint:secret drawn short commutative-encryption exponent
 func (g *Group) RandomShortExponent(rnd io.Reader) (*big.Int, error) {
 	ell := g.ShortExponentBits()
 	if ell == 0 || ell >= g.Q.BitLen() {

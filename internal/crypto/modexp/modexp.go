@@ -60,6 +60,8 @@ func (b Backend) String() string {
 		return "big.Int.Exp"
 	case BackendMontgomery:
 		return "montgomery"
+	case BackendConstantTime:
+		return "constant-time"
 	default:
 		return "auto"
 	}
@@ -80,10 +82,13 @@ type windowOp struct {
 // seclint:private window schedule derived from a secret exponent
 type Engine struct {
 	mod   *Modulus
-	e     *big.Int   // retained for the math/big backend
-	sched []windowOp // sliding-window decomposition of e, built once
+	e     *big.Int   // seclint:secret retained for the math/big backend
+	sched []windowOp // seclint:secret sliding-window decomposition of e, built once
 	w     int        // window width
 	tabN  int        // odd-power table entries: 2^(w-1)
+	// ctBits is the public exponent-length bound of a constant-time
+	// engine (NewEngineConstantTime); 0 on variable-time engines.
+	ctBits int
 
 	backend atomic.Int32 // Backend; BackendAuto until calibrated
 	calOnce sync.Once
@@ -179,6 +184,8 @@ func (en *Engine) Exp(x *big.Int) *big.Int {
 	switch en.decide(x) {
 	case BackendMontgomery:
 		return en.montExp(x)
+	case BackendConstantTime:
+		return ExpConstantTime(en.mod, x, en.e, en.ctBits)
 	default:
 		return new(big.Int).Exp(x, en.e, en.mod.n)
 	}

@@ -78,8 +78,41 @@ func bigOf(w []uint64) *big.Int {
 // montMul computes z = x·y·R⁻¹ mod n (CIOS: coarsely integrated operand
 // scanning, Menezes et al. Alg. 14.36) into z, using t as scratch.
 // x, y < n is required; z < n is guaranteed. z must not alias x or y;
-// len(z) = k, len(t) = k+2.
+// len(z) = k, len(t) = k+2. The final reduction is a data-dependent
+// conditional subtraction — use montMulCT where the operands derive from
+// secret exponent digits.
 func (m *Modulus) montMul(z, x, y, t []uint64) {
+	m.montMulCore(z, x, y, t)
+	// The loop invariant leaves t < 2n; one conditional subtraction
+	// finishes the reduction.
+	if t[m.k] != 0 || geWords(z, m.nw) {
+		subWords(z, m.nw)
+	}
+}
+
+// montMulCT is montMul with a constant-time final reduction: the
+// subtraction is always computed and the result selected by mask, so no
+// branch or memory access depends on the value being reduced. The CIOS
+// core itself is already fixed-trajectory (bits.Mul64/Add64 over fixed
+// loop bounds), which makes this the multiplication kernel of the
+// constant-time ladder (ct.go).
+func (m *Modulus) montMulCT(z, x, y, t []uint64) {
+	k := m.k
+	m.montMulCore(z, x, y, t)
+	// t < 2n, so the carry word t[k] is 0 or 1. Subtract n iff
+	// t[k]·2^(64k) + z ≥ n: always compute z-n into t, then select.
+	var borrow uint64
+	for i := 0; i < k; i++ {
+		t[i], borrow = bits.Sub64(z[i], m.nw[i], borrow)
+	}
+	// Reduce iff the high word is set (z wrapped past 2^(64k) ≥ n) or
+	// the subtraction did not borrow (z ≥ n).
+	ctSelectWords(z, t[:k], ctMask(t[k]|(borrow^1)))
+}
+
+// montMulCore runs the CIOS loop, leaving the sub-2n result in z (low k
+// words) and its carry bit in t[k]. len(z) = k, len(t) = k+2.
+func (m *Modulus) montMulCore(z, x, y, t []uint64) {
 	k := m.k
 	n := m.nw
 	for i := range t {
@@ -122,11 +155,24 @@ func (m *Modulus) montMul(z, x, y, t []uint64) {
 		t[k+1] = 0
 	}
 	copy(z, t[:k])
-	// The loop invariant leaves t < 2n; one conditional subtraction
-	// finishes the reduction.
-	if t[k] != 0 || geWords(z, n) {
-		subWords(z, n)
+}
+
+// ctMask expands a 0/1 bit into a 0/all-ones word without branching.
+func ctMask(bit uint64) uint64 { return -bit }
+
+// ctSelectWords sets z[i] = b[i] where mask is all-ones and leaves z
+// untouched where mask is zero, in constant time.
+func ctSelectWords(z, b []uint64, mask uint64) {
+	for i := range z {
+		z[i] ^= mask & (z[i] ^ b[i])
 	}
+}
+
+// ctEqMask returns all-ones when a == b and zero otherwise, without
+// branching — the comparator of the masked table scan in ct.go.
+func ctEqMask(a, b uint64) uint64 {
+	x := a ^ b
+	return ctMask(((x | -x) >> 63) ^ 1)
 }
 
 // geWords reports a ≥ b for equal-length little-endian words.

@@ -171,14 +171,14 @@ func (pk *PublicKey) randomizer(rnd io.Reader) (*big.Int, error) {
 // seclint:private Paillier decryption key
 type PrivateKey struct {
 	PublicKey
-	lambda *big.Int // lcm(p-1, q-1)
-	mu     *big.Int // lambda⁻¹ mod n
+	lambda *big.Int // seclint:secret lcm(p-1, q-1)
+	mu     *big.Int // seclint:secret lambda⁻¹ mod n
 
 	// CRT precomputation.
-	p, q     *big.Int
-	pSq, qSq *big.Int // p², q²
-	hp, hq   *big.Int // L_p(g^{p-1} mod p²)⁻¹ mod p, and the q analogue
-	pInvQ    *big.Int // p⁻¹ mod q
+	p, q     *big.Int // seclint:secret modulus factors
+	pSq, qSq *big.Int // seclint:secret p², q²
+	hp, hq   *big.Int // seclint:secret L_p(g^{p-1} mod p²)⁻¹ mod p, and the q analogue
+	pInvQ    *big.Int // seclint:secret p⁻¹ mod q
 }
 
 // Ciphertext is a Paillier ciphertext, an element of Z_{n²}^*.

@@ -71,7 +71,7 @@ func (s *Source) serveCommutative(conn transport.Conn, pq *PartialQuery, rel *re
 	var offer commOffer
 	var key *commutative.Key
 	err = watch.phase(telemetry.PhaseSourceEncrypt, func() error {
-		key, err = commutative.GenerateKey(group, rand.Reader)
+		key, err = pq.Params.generateCommKey(group, rand.Reader)
 		if err != nil {
 			return err
 		}

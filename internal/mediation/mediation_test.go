@@ -178,6 +178,44 @@ func TestProtocolVariants(t *testing.T) {
 	}
 }
 
+// TestCommutativeKeyModes runs the commutative protocol end-to-end under
+// every key-generation policy: the default short exponents, the
+// full-length escape hatch (GenerateKeyFullExponent, which previously
+// had no protocol-level coverage), and the constant-time ladder. All
+// three must produce the exact join, and an unknown mode must abort
+// rather than silently fall back.
+func TestCommutativeKeyModes(t *testing.T) {
+	want := expectedJoin(t)
+	for _, mode := range []CommKeyMode{KeyShortExponent, KeyFullExponent, KeyConstantTime} {
+		mode := mode
+		t.Run(mode.String(), func(t *testing.T) {
+			n := newTestNetwork(t, nil)
+			params := fastParams()
+			params.KeyMode = mode
+			got, err := n.Query(fixtureSQL, ProtocolCommutative, params)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !got.EqualMultiset(want) {
+				t.Errorf("result mismatch:\n%v\nwant\n%v", got, want)
+			}
+			if errs := n.SourceErrors(); len(errs) != 0 {
+				t.Errorf("source errors: %v", errs)
+			}
+		})
+	}
+	if _, err := (Params{KeyMode: CommKeyMode(99)}).generateCommKey(nil, nil); err == nil {
+		t.Error("unknown key mode: want error")
+	}
+	for mode, name := range map[CommKeyMode]string{
+		KeyShortExponent: "short-exponent", KeyFullExponent: "full-exponent", KeyConstantTime: "constant-time",
+	} {
+		if mode.String() != name {
+			t.Errorf("CommKeyMode(%d).String() = %q, want %q", int(mode), mode.String(), name)
+		}
+	}
+}
+
 func TestNaturalJoinQuery(t *testing.T) {
 	r1, r2 := testRelations(t)
 	want, err := algebra.NaturalJoin(r1, r2)

@@ -24,8 +24,10 @@ package mediation
 import (
 	"errors"
 	"fmt"
+	"io"
 	"time"
 
+	"github.com/secmediation/secmediation/internal/crypto/commutative"
 	"github.com/secmediation/secmediation/internal/crypto/groups"
 	"github.com/secmediation/secmediation/internal/das"
 	"github.com/secmediation/secmediation/internal/leakage"
@@ -108,6 +110,10 @@ type Params struct {
 	// GroupBits selects the commutative-encryption safe-prime group
 	// (1536, 2048 or 3072 bits, the embedded RFC 3526 groups).
 	GroupBits int
+	// KeyMode selects how the sources draw their commutative exponents
+	// (short, full-length, or constant-time ladder); see CommKeyMode.
+	// It travels in the request so both sources use the same policy.
+	KeyMode CommKeyMode
 	// IDMode enables footnote 1 for the commutative protocol: the
 	// mediator retains the encrypted tuple sets and circulates fixed-
 	// length IDs instead.
@@ -157,6 +163,53 @@ func (p Params) withDefaults() Params {
 		p.PaillierBits = 1024
 	}
 	return p
+}
+
+// CommKeyMode selects the commutative key-generation policy a protocol
+// run uses at both sources.
+type CommKeyMode int
+
+const (
+	// KeyShortExponent draws 224/256/288-bit exponents (GenerateKey,
+	// Koshiba–Kurosawa assumption) — the default and the fast path.
+	KeyShortExponent CommKeyMode = iota
+	// KeyFullExponent draws full-length uniform exponents
+	// (GenerateKeyFullExponent) — the scheme exactly as Agrawal et al.
+	// state it, with no short-exponent assumption, at ~8× the
+	// per-element encryption cost.
+	KeyFullExponent
+	// KeyConstantTime draws short exponents but runs every
+	// exponentiation through the fixed-window constant-time ladder
+	// (GenerateKeyConstantTime) for deployments where a co-resident
+	// attacker could observe timing; see docs/SECURITY.md.
+	KeyConstantTime
+)
+
+// String names the key mode.
+func (m CommKeyMode) String() string {
+	switch m {
+	case KeyFullExponent:
+		return "full-exponent"
+	case KeyConstantTime:
+		return "constant-time"
+	default:
+		return "short-exponent"
+	}
+}
+
+// generateCommKey draws a commutative key under the requested policy.
+func (p Params) generateCommKey(g *groups.Group, rnd io.Reader) (*commutative.Key, error) {
+	switch p.KeyMode {
+	case KeyFullExponent:
+		return commutative.GenerateKeyFullExponent(g, rnd)
+	case KeyConstantTime:
+		return commutative.GenerateKeyConstantTime(g, rnd)
+	case KeyShortExponent:
+		return commutative.GenerateKey(g, rnd)
+	default:
+		mode := int(p.KeyMode)
+		return nil, fmt.Errorf("mediation: unknown commutative key mode %d", mode)
+	}
 }
 
 // commutativeGroup resolves GroupBits to an embedded RFC 3526 group.

@@ -43,7 +43,11 @@ func RootOfValue(v relation.Value) *big.Int {
 // Polynomial is P(x) = Σ c_k x^k with coefficients in Z_n, constructed as
 // Π (a_i − x) over the root encodings a_i.
 type Polynomial struct {
-	// Coeffs holds c_0 … c_d (degree order).
+	// Coeffs holds c_0 … c_d (degree order). The coefficients encode a
+	// party's private active domain, so their bits must not steer timing
+	// before encryption.
+	//
+	// seclint:secret plaintext set-encoding coefficients
 	Coeffs []*big.Int
 	// N is the coefficient modulus (the Paillier modulus).
 	N *big.Int

@@ -36,9 +36,17 @@ import (
 //	seclint:wire <why>         on a func: its arguments are gob-encoded
 //	                           onto a transport link; keyscope checks
 //	                           every argument type at every call site.
+//	seclint:secret <what>      on a struct field or var: the value is
+//	                           secret key material whose bits must not
+//	                           shape execution timing (cttaint seeds its
+//	                           value-taint here). On a func: if every
+//	                           whitespace-separated word of <what> names
+//	                           a parameter, those parameters are secret;
+//	                           otherwise the function's results are.
 //
 // Unknown kinds and kinds on the wrong declaration form are themselves
-// reported (by plaintaint), so the convention cannot drift silently.
+// reported (by plaintaint and cttaint), so the convention cannot drift
+// silently.
 const (
 	annSource    = "source"
 	annSanitizer = "sanitizer"
@@ -46,6 +54,7 @@ const (
 	annPrivate   = "private"
 	annBoundary  = "boundary"
 	annWire      = "wire"
+	annSecret    = "secret"
 )
 
 // annotation is one parsed seclint:<kind> doc-comment line.

@@ -74,6 +74,12 @@ type Fn struct {
 	EntryRole string
 	// Wire marks functions that gob-encode their arguments onto a link.
 	Wire bool
+	// SecretResults marks a function whose results are secret key
+	// material (seclint:secret on the func); cttaint taints every call
+	// result. SecretParams instead names parameters declared secret.
+	SecretResults bool
+	SecretWhy     string
+	SecretParams  []string
 
 	Edges []Edge
 }
@@ -246,6 +252,16 @@ func (p *Program) declareFunc(pkg *Package, d *ast.FuncDecl) {
 			}
 		case annWire:
 			fn.Wire = true
+		case annSecret:
+			// "seclint:secret e d" marks the named parameters; any text
+			// that is not exactly a list of parameter names documents why
+			// the results are secret instead.
+			if names := paramNameSubset(d, ann.Text); names != nil {
+				fn.SecretParams = names
+			} else {
+				fn.SecretResults = true
+				fn.SecretWhy = textOr(ann.Text, "declared secret result")
+			}
 		case annPrivate, annBoundary:
 			p.bad(pkg, fn.Pos, fmt.Sprintf("seclint:%s belongs on a type declaration, not a function", ann.Kind))
 		default:
@@ -696,6 +712,36 @@ func recvTypeName(d *ast.FuncDecl) string {
 			return ""
 		}
 	}
+}
+
+// paramNameSubset returns the fields of s when every one of them names
+// a parameter (or the receiver) of d, and nil otherwise — the rule that
+// distinguishes "seclint:secret e d" (marks params) from
+// "seclint:secret the drawn exponent" (marks results).
+func paramNameSubset(d *ast.FuncDecl, s string) []string {
+	fields := strings.Fields(s)
+	if len(fields) == 0 {
+		return nil
+	}
+	params := make(map[string]bool)
+	collect := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			for _, name := range f.Names {
+				params[name.Name] = true
+			}
+		}
+	}
+	collect(d.Recv)
+	collect(d.Type.Params)
+	for _, f := range fields {
+		if !params[f] {
+			return nil
+		}
+	}
+	return fields
 }
 
 // firstField returns the first whitespace-separated field of s.

@@ -1,0 +1,121 @@
+package seclint
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// sarif.go renders findings as SARIF 2.1.0 (OASIS Static Analysis
+// Results Interchange Format), the ingestion format of code-scanning
+// dashboards. One run per invocation: the tool's rules are the
+// analyzers (so rule metadata travels with the results), every finding
+// is an error-level result, and file paths stay module-relative under
+// the SRCROOT base so the log is machine-portable across checkouts.
+
+// sarifLog is the document root (§3.13).
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool               sarifTool                `json:"tool"`
+	Results            []sarifResult            `json:"results"`
+	OriginalURIBaseIDs map[string]sarifArtifact `json:"originalUriBaseIds,omitempty"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	RuleIndex int             `json:"ruleIndex"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+}
+
+type sarifPhysicalLocation struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI       string `json:"uri"`
+	URIBaseID string `json:"uriBaseId,omitempty"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// WriteSARIF emits one SARIF 2.1.0 run for the findings. analyzers
+// supplies the rule table; findings from rules outside it (the
+// synthetic "allowlist" analyzer that reports stale allow entries) get
+// rules appended on first use so every result resolves a ruleIndex.
+func WriteSARIF(w io.Writer, findings []Finding, analyzers []*Analyzer) error {
+	rules := make([]sarifRule, 0, len(analyzers)+1)
+	index := make(map[string]int, len(analyzers)+1)
+	for _, a := range analyzers {
+		index[a.Name] = len(rules)
+		rules = append(rules, sarifRule{ID: a.Name, ShortDescription: sarifMessage{Text: a.Doc}})
+	}
+
+	results := make([]sarifResult, 0, len(findings))
+	for _, f := range findings {
+		ri, ok := index[f.Analyzer]
+		if !ok {
+			ri = len(rules)
+			index[f.Analyzer] = ri
+			rules = append(rules, sarifRule{ID: f.Analyzer,
+				ShortDescription: sarifMessage{Text: "finding outside the analyzer table"}})
+		}
+		results = append(results, sarifResult{
+			RuleID:    f.Analyzer,
+			RuleIndex: ri,
+			Level:     "error",
+			Message:   sarifMessage{Text: f.Message},
+			Locations: []sarifLocation{{PhysicalLocation: sarifPhysicalLocation{
+				ArtifactLocation: sarifArtifact{URI: f.File, URIBaseID: "SRCROOT"},
+				Region:           sarifRegion{StartLine: f.Line, StartColumn: f.Col},
+			}}},
+		})
+	}
+
+	log := sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "seclint", Rules: rules}},
+			Results: results,
+			OriginalURIBaseIDs: map[string]sarifArtifact{
+				"SRCROOT": {URI: "file:///./"},
+			},
+		}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
+}

@@ -89,6 +89,7 @@ func TestProgramAnalyzersOnFixtures(t *testing.T) {
 	}{
 		{"plaintaint", Plaintaint, "testdata/src/plaintaint"},
 		{"keyscope", Keyscope, "testdata/src/keyscope"},
+		{"cttaint", Cttaint, "testdata/src/cttaint"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
