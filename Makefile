@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all ci vet lint lint-json lint-sarif build test test-short race chaos bench bench-smoke parallel-report telemetry-report large-report
+.PHONY: all ci vet lint lint-json lint-sarif build test test-short race chaos bench bench-smoke parallel-report telemetry-report large-report sessions-report
 
 all: vet lint build test race
 
@@ -41,18 +41,21 @@ test:
 test-short:
 	$(GO) test -short -race ./...
 
-# The concurrency safety gate: the mediation protocols, the worker pool,
+# The concurrency safety gate: the mediation protocols, the session mux
+# (including the >=32-interleaved-sessions stress test), the worker pool,
 # the telemetry registry, the transport layer and the leak-check helpers
 # under the race detector.
 race:
-	$(GO) test -race ./internal/mediation/... ./internal/parallel/... ./internal/telemetry/... ./internal/transport/... ./internal/testutil/...
+	$(GO) test -race ./internal/mediation/... ./internal/session/... ./internal/parallel/... ./internal/telemetry/... ./internal/transport/... ./internal/testutil/...
 
 # The resilience gate (docs/RESILIENCE.md): every protocol under every
-# fault class on the fixed seed, the mid-protocol crash matrix and the
+# fault class on the fixed seed — including per-session faults on a
+# shared multiplexed link — the mid-protocol crash matrix and the
 # timeout-attribution tests, race-checked and leak-checked. Override the
 # fault schedule with CHAOS_SEED=<uint64> to explore other positions.
 chaos:
 	$(GO) test -race -count=1 -run 'TestChaos|TestSourceCrash|TestSilent|TestMediatorCrash' ./internal/mediation
+	$(GO) test -race -count=1 ./internal/session
 
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x ./...
@@ -78,3 +81,9 @@ telemetry-report:
 SCALE ?= 0.01
 large-report:
 	$(GO) run ./cmd/medbench -table large -scale $(SCALE)
+
+# Regenerates BENCH_sessions.json: concurrent-clients throughput of the
+# session layer (overlapping queries over one multiplexed TCP link vs
+# dial-per-query, plus the admission-control overload arm).
+sessions-report:
+	$(GO) run ./cmd/medbench -table sessions

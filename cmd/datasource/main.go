@@ -26,6 +26,7 @@ import (
 	"github.com/secmediation/secmediation/internal/keyio"
 	"github.com/secmediation/secmediation/internal/mediation"
 	"github.com/secmediation/secmediation/internal/relation"
+	"github.com/secmediation/secmediation/internal/session"
 	"github.com/secmediation/secmediation/internal/telemetry"
 	"github.com/secmediation/secmediation/internal/transport"
 )
@@ -50,6 +51,8 @@ func main() {
 	telemetryAddr := flag.String("telemetry", "", "serve /metrics, /trace and /snapshot on this address (empty disables)")
 	timeout := flag.Duration("timeout", 2*time.Minute, "per-operation deadline on accepted links before the partial query arrives (0 disables)")
 	maxMsg := flag.Int64("maxmsg", 0, "inbound message size limit in bytes (0 = default 256 MiB)")
+	maxSessions := flag.Int("max-sessions", 64, "max concurrent protocol sessions (0 = unlimited)")
+	maxWaiting := flag.Int("max-waiting", 64, "sessions allowed to queue for a slot before overload rejects")
 	flag.Parse()
 
 	src, err := buildSource(*name, cas, rels, requires)
@@ -67,20 +70,19 @@ func main() {
 	}
 	l.MaxMessage = *maxMsg
 	log.Printf("datasource %s serving %d relation(s) at %s", *name, len(src.Catalog), l.Addr())
-	for {
-		conn, err := l.Accept()
-		if err != nil {
-			log.Fatalf("datasource: accept: %v", err)
-		}
-		go func() {
-			defer conn.Close()
+	srv := &session.Server{
+		Handler: func(conn transport.Conn) error {
 			// Bound the wait for the partial query itself; once it arrives,
 			// its Params.Timeout (the client's choice) re-arms the link.
 			conn.SetTimeout(*timeout)
-			if err := src.Serve(conn); err != nil {
-				log.Printf("session: %v", err)
-			}
-		}()
+			return src.Serve(conn)
+		},
+		Gate:      session.NewGate(*maxSessions, *maxWaiting, src.Telemetry),
+		Telemetry: src.Telemetry,
+		Logf:      log.Printf,
+	}
+	if err := srv.Serve(session.AcceptTimeout(l, *timeout)); err != nil {
+		log.Fatalf("datasource: serve: %v", err)
 	}
 }
 

@@ -12,8 +12,14 @@
 //	                          (writes BENCH_phases.json)
 //	medbench -table large     TPC-H-shaped orders⋈customer workload at -scale
 //	                          (writes BENCH_large.json)
+//	medbench -table sessions  session-layer concurrent-clients throughput:
+//	                          overlapping queries over one multiplexed TCP
+//	                          link vs dial-per-query, plus the admission
+//	                          overload arm (writes BENCH_sessions.json)
 //	medbench -table all  everything except large (which sizes itself by -scale,
-//	                     not the -rows/-domain toy knobs)
+//	                     not the -rows/-domain toy knobs) and sessions (which
+//	                     measures the deployment transport, not the paper's
+//	                     evaluation artifacts)
 //
 // Workload knobs: -rows, -domain, -overlap, -groupbits, -paillier; the
 // large table is sized by -scale alone (scale 1 = 150k customer / 1.5M
@@ -37,7 +43,7 @@ import (
 )
 
 func main() {
-	table := flag.String("table", "all", "which table to regenerate: 1|2|3|4|5|parallel|phases|large|all")
+	table := flag.String("table", "all", "which table to regenerate: 1|2|3|4|5|parallel|phases|large|sessions|all")
 	rows := flag.Int("rows", 200, "tuples per relation")
 	domain := flag.Int("domain", 50, "active-domain size of the join attribute")
 	overlap := flag.Float64("overlap", 0.5, "fraction of shared join values")
@@ -80,6 +86,8 @@ func main() {
 		err = h.tableParallel(orDefault(*jsonOut, "BENCH_parallel.json"))
 	case "phases":
 		err = h.tablePhases(orDefault(*jsonOut, "BENCH_phases.json"))
+	case "sessions":
+		err = h.tableSessions(orDefault(*jsonOut, "BENCH_sessions.json"))
 	case "all":
 		parallelTable := func() error { return h.tableParallel(orDefault(*jsonOut, "BENCH_parallel.json")) }
 		phasesTable := func() error { return h.tablePhases(orDefault(*jsonOut, "BENCH_phases.json")) }

@@ -1,0 +1,350 @@
+package main
+
+import (
+	"crypto/rsa"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"github.com/secmediation/secmediation/internal/algebra"
+	"github.com/secmediation/secmediation/internal/credential"
+	"github.com/secmediation/secmediation/internal/mediation"
+	"github.com/secmediation/secmediation/internal/relation"
+	"github.com/secmediation/secmediation/internal/session"
+	"github.com/secmediation/secmediation/internal/telemetry"
+	"github.com/secmediation/secmediation/internal/transport"
+)
+
+const sessionsSQL = "SELECT * FROM R1 JOIN R2 ON R1.id = R2.id"
+
+// sessionsRun is one (clients, link mode) throughput measurement.
+type sessionsRun struct {
+	Clients       int     `json:"clients"`
+	Mode          string  `json:"mode"` // "mux" (one shared link) or "dial" (one TCP dial per query)
+	TCPDials      int64   `json:"tcp_dials"`
+	WallNs        int64   `json:"wall_ns"`
+	QueriesPerSec float64 `json:"queries_per_sec"`
+	SpeedupVsDial float64 `json:"speedup_vs_dial,omitempty"` // mux rows only
+}
+
+// sessionsOverload records the admission-control arm: more concurrent
+// sessions than gate slots, overflow refused with ErrOverloaded.
+type sessionsOverload struct {
+	Slots         int   `json:"slots"`
+	Clients       int   `json:"clients"`
+	Completed     int   `json:"completed"`
+	Rejected      int   `json:"rejected"`
+	ServerRejects int64 `json:"server_rejects"` // mediator's sessions_rejected counter
+}
+
+// sessionsReport is the BENCH_sessions.json schema.
+type sessionsReport struct {
+	Cores      int              `json:"cores"`
+	GOMAXPROCS int              `json:"gomaxprocs"`
+	GOOS       string           `json:"goos"`
+	GOARCH     string           `json:"goarch"`
+	Rows       int              `json:"rows_per_relation"`
+	Domain     int              `json:"active_domain"`
+	Protocol   string           `json:"protocol"`
+	Runs       []sessionsRun    `json:"runs"`
+	Overload   sessionsOverload `json:"overload"`
+}
+
+// sessionWorld is a live TCP deployment: two sources and a mediator
+// behind session.Servers, the mediator holding one pooled multiplexed
+// link per source.
+type sessionWorld struct {
+	addr     string
+	reg      *telemetry.Registry
+	shutdown func() error
+}
+
+// startSessionWorld deploys the topology on loopback listeners. slots
+// and waiting configure the mediator's admission gate (0 slots =
+// unlimited).
+func (h *harness) startSessionWorld(slots, waiting int) (*sessionWorld, error) {
+	reg := telemetry.NewRegistry()
+	r1, r2, err := h.spec.Generate()
+	if err != nil {
+		return nil, err
+	}
+	policy := func(rel string) *credential.Policy {
+		return &credential.Policy{Relation: rel,
+			Require: []credential.Requirement{{Property: credential.Property{Name: "role", Value: "analyst"}}}}
+	}
+	var closers []func() error
+	serve := func(srv *session.Server) (string, error) {
+		l, err := transport.Listen("127.0.0.1:0")
+		if err != nil {
+			return "", err
+		}
+		done := make(chan error, 1)
+		go func() { done <- srv.Serve(l) }()
+		closers = append(closers, func() error {
+			if err := l.Close(); err != nil {
+				return err
+			}
+			return <-done
+		})
+		return l.Addr(), nil
+	}
+	startSource := func(src *mediation.Source) (string, error) {
+		return serve(&session.Server{Handler: func(conn transport.Conn) error {
+			conn.SetTimeout(30 * time.Second)
+			return src.Serve(conn)
+		}})
+	}
+	addr1, err := startSource(&mediation.Source{Name: "S1", Catalog: algebra.MapCatalog{"R1": r1},
+		Policies: map[string]*credential.Policy{"R1": policy("R1")}, TrustedCAs: []*rsa.PublicKey{h.ca.PublicKey()}})
+	if err != nil {
+		return nil, err
+	}
+	addr2, err := startSource(&mediation.Source{Name: "S2", Catalog: algebra.MapCatalog{"R2": r2},
+		Policies: map[string]*credential.Policy{"R2": policy("R2")}, TrustedCAs: []*rsa.PublicKey{h.ca.PublicKey()}})
+	if err != nil {
+		return nil, err
+	}
+	pool := &session.Pool{Dial: transport.Dial, Telemetry: reg}
+	med := &mediation.Mediator{
+		Schemas:   map[string]relation.Schema{"R1": r1.Schema(), "R2": r2.Schema()},
+		Telemetry: reg,
+		Routes: map[string]mediation.Dialer{
+			"R1": func() (transport.Conn, error) { return pool.Open(addr1) },
+			"R2": func() (transport.Conn, error) { return pool.Open(addr2) },
+		},
+	}
+	addr, err := serve(&session.Server{
+		Handler: func(conn transport.Conn) error {
+			conn.SetTimeout(30 * time.Second)
+			return med.HandleSession(conn)
+		},
+		Gate:      session.NewGate(slots, waiting, reg),
+		Telemetry: reg,
+	})
+	if err != nil {
+		return nil, err
+	}
+	shutdown := func() error {
+		var first error
+		if err := pool.Close(); err != nil {
+			first = err
+		}
+		for _, c := range closers {
+			if err := c(); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}
+	return &sessionWorld{addr: addr, reg: reg, shutdown: shutdown}, nil
+}
+
+// tableSessions measures concurrent-clients throughput of the session
+// layer: N overlapping DAS queries over one multiplexed link versus one
+// TCP dial per query, plus the admission-control overload arm, and
+// writes BENCH_sessions.json (skipped when jsonPath is empty).
+func (h *harness) tableSessions(jsonPath string) error {
+	cores := runtime.NumCPU()
+	maxprocs := runtime.GOMAXPROCS(0)
+	fmt.Printf("Session layer — overlapping queries over one multiplexed link vs dial-per-query (runner: %d core(s), GOMAXPROCS=%d)\n",
+		cores, maxprocs)
+
+	// Concurrent leakage accounting would interleave across sessions;
+	// throughput runs measure the protocols, not the ledger.
+	h.client.Ledger = nil
+	params := h.params()
+	params.Timeout = 30 * time.Second
+
+	world, err := h.startSessionWorld(0, 0)
+	if err != nil {
+		return err
+	}
+	report := sessionsReport{Cores: cores, GOMAXPROCS: maxprocs,
+		GOOS: runtime.GOOS, GOARCH: runtime.GOARCH,
+		Rows: h.spec.Rows1, Domain: h.spec.Domain1,
+		Protocol: mediation.ProtocolDAS.String()}
+
+	rows := [][]string{{"clients", "mode", "tcp dials", "wall", "queries/s", "speedup vs dial"}}
+	for _, clients := range []int{1, 4, 16, 64} {
+		var dialWall time.Duration
+		for _, mode := range []string{"dial", "mux"} {
+			before := world.reg.Counter("links_accepted").Value()
+			var wall time.Duration
+			var err error
+			if mode == "dial" {
+				wall, err = h.runDialArm(world.addr, clients, params)
+				dialWall = wall
+			} else {
+				wall, err = h.runMuxArm(world.addr, clients, params)
+			}
+			if err != nil {
+				if serr := world.shutdown(); serr != nil {
+					return errors.Join(err, serr)
+				}
+				return err
+			}
+			run := sessionsRun{
+				Clients:       clients,
+				Mode:          mode,
+				TCPDials:      world.reg.Counter("links_accepted").Value() - before,
+				WallNs:        wall.Nanoseconds(),
+				QueriesPerSec: float64(clients) / wall.Seconds(),
+			}
+			speedup := ""
+			if mode == "mux" {
+				run.SpeedupVsDial = float64(dialWall) / float64(wall)
+				speedup = fmt.Sprintf("%.2fx", run.SpeedupVsDial)
+			}
+			report.Runs = append(report.Runs, run)
+			rows = append(rows, []string{fmt.Sprint(clients), mode,
+				fmt.Sprint(run.TCPDials), wall.Round(time.Millisecond).String(),
+				fmt.Sprintf("%.1f", run.QueriesPerSec), speedup})
+		}
+	}
+	printAligned(rows)
+	if err := world.shutdown(); err != nil {
+		return err
+	}
+
+	over, err := h.runOverloadArm(2, 16, params)
+	if err != nil {
+		return err
+	}
+	report.Overload = over
+	fmt.Printf("admission control: %d slots, %d concurrent sessions -> %d completed, %d rejected with ErrOverloaded (server counted %d)\n\n",
+		over.Slots, over.Clients, over.Completed, over.Rejected, over.ServerRejects)
+
+	return writeReport(jsonPath, report)
+}
+
+// runMuxArm runs n overlapping queries as virtual sessions over ONE
+// physical link and returns the wall time for the whole batch.
+func (h *harness) runMuxArm(addr string, n int, params mediation.Params) (time.Duration, error) {
+	conn, err := transport.Dial(addr)
+	if err != nil {
+		return 0, err
+	}
+	mux := session.NewMux(conn, session.Config{})
+	defer mux.Close()
+	start := time.Now()
+	err = h.forEachSession(n, func() error {
+		st, err := mux.Open()
+		if err != nil {
+			return err
+		}
+		defer st.Close()
+		st.SetTimeout(params.Timeout)
+		return h.checkQuery(st, params)
+	})
+	return time.Since(start), err
+}
+
+// runDialArm runs n overlapping queries, each over its own fresh TCP
+// dial — the pre-session-layer deployment shape.
+func (h *harness) runDialArm(addr string, n int, params mediation.Params) (time.Duration, error) {
+	start := time.Now()
+	err := h.forEachSession(n, func() error {
+		conn, err := transport.Dial(addr)
+		if err != nil {
+			return err
+		}
+		defer conn.Close()
+		conn.SetTimeout(params.Timeout)
+		return h.checkQuery(conn, params)
+	})
+	return time.Since(start), err
+}
+
+// forEachSession runs fn n times concurrently and returns the first
+// error.
+func (h *harness) forEachSession(n int, fn func() error) error {
+	errs := make(chan error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs <- fn()
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// checkQuery runs one DAS query on the given link and validates the
+// join size, so the throughput numbers only ever count correct runs.
+func (h *harness) checkQuery(conn transport.Conn, params mediation.Params) error {
+	got, err := h.client.Query(conn, sessionsSQL, mediation.ProtocolDAS, params)
+	if err != nil {
+		return err
+	}
+	if got.Len() != h.joinSize {
+		return fmt.Errorf("session produced %d tuples, want %d", got.Len(), h.joinSize)
+	}
+	return nil
+}
+
+// runOverloadArm saturates a slots-sized admission gate with clients
+// concurrent sessions over one link: all session opens land before any
+// query runs, so exactly the overflow is refused with ErrOverloaded.
+func (h *harness) runOverloadArm(slots, clients int, params mediation.Params) (sessionsOverload, error) {
+	world, err := h.startSessionWorld(slots, 0)
+	if err != nil {
+		return sessionsOverload{}, err
+	}
+	over := sessionsOverload{Slots: slots, Clients: clients}
+	conn, err := transport.Dial(world.addr)
+	if err != nil {
+		return over, errors.Join(err, world.shutdown())
+	}
+	mux := session.NewMux(conn, session.Config{})
+
+	// Open every stream before querying: the mediator's gate decides
+	// admission as the open frames arrive, while every admitted handler
+	// still waits for its request.
+	streams := make([]*session.Stream, clients)
+	for i := range streams {
+		if streams[i], err = mux.Open(); err != nil {
+			return over, errors.Join(err, world.shutdown())
+		}
+	}
+	var mu sync.Mutex
+	var firstErr error
+	var wg sync.WaitGroup
+	for _, st := range streams {
+		wg.Add(1)
+		go func(st *session.Stream) {
+			defer wg.Done()
+			defer st.Close()
+			st.SetTimeout(params.Timeout)
+			err := h.checkQuery(st, params)
+			mu.Lock()
+			defer mu.Unlock()
+			switch {
+			case err == nil:
+				over.Completed++
+			case errors.Is(err, session.ErrOverloaded):
+				over.Rejected++
+			case firstErr == nil:
+				firstErr = err
+			}
+		}(st)
+	}
+	wg.Wait()
+	over.ServerRejects = world.reg.Counter("sessions_rejected").Value()
+	if err := mux.Close(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	if err := world.shutdown(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return over, firstErr
+}

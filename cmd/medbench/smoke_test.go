@@ -135,4 +135,52 @@ func TestBenchSmoke(t *testing.T) {
 			t.Errorf("malformed large protocol run %+v", p)
 		}
 	}
+
+	// The sessions table is also the acceptance gate for the session
+	// layer: its largest mux arm drives 64 overlapping protocol runs
+	// through one mediator over a single multiplexed TCP link, and the
+	// overload arm must produce typed admission rejects.
+	sessionsPath := filepath.Join(dir, "sessions.json")
+	if err := h.tableSessions(sessionsPath); err != nil {
+		t.Fatal(err)
+	}
+	var se sessionsReport
+	readJSON(sessionsPath, &se)
+	if se.Cores < 1 || se.GOMAXPROCS < 1 {
+		t.Errorf("sessions report runner fields: cores=%d gomaxprocs=%d, want both >= 1", se.Cores, se.GOMAXPROCS)
+	}
+	if se.Protocol == "" {
+		t.Error("sessions report missing protocol")
+	}
+	var sawMux64 bool
+	for _, r := range se.Runs {
+		if r.WallNs <= 0 || r.QueriesPerSec <= 0 || r.Clients < 1 {
+			t.Errorf("malformed sessions run %+v", r)
+		}
+		switch r.Mode {
+		case "mux":
+			if r.TCPDials != 1 {
+				t.Errorf("mux arm with %d clients used %d TCP dials, want 1", r.Clients, r.TCPDials)
+			}
+			if r.Clients == 64 {
+				sawMux64 = true
+			}
+		case "dial":
+			if r.TCPDials != int64(r.Clients) {
+				t.Errorf("dial arm with %d clients used %d TCP dials, want %d", r.Clients, r.TCPDials, r.Clients)
+			}
+		default:
+			t.Errorf("unknown sessions mode %q", r.Mode)
+		}
+	}
+	if !sawMux64 {
+		t.Error("sessions report has no 64-client mux arm (the overlapping-runs acceptance case)")
+	}
+	ov := se.Overload
+	if ov.Completed < 1 || ov.Rejected < 1 || ov.Completed+ov.Rejected != ov.Clients {
+		t.Errorf("overload arm %+v: want >=1 completed, >=1 rejected, completed+rejected == clients", ov)
+	}
+	if ov.ServerRejects < int64(ov.Rejected) {
+		t.Errorf("overload arm: server counted %d rejects, client saw %d", ov.ServerRejects, ov.Rejected)
+	}
 }

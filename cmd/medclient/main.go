@@ -26,6 +26,7 @@ import (
 	"github.com/secmediation/secmediation/internal/keyio"
 	"github.com/secmediation/secmediation/internal/mediation"
 	"github.com/secmediation/secmediation/internal/relation"
+	"github.com/secmediation/secmediation/internal/session"
 	"github.com/secmediation/secmediation/internal/transport"
 )
 
@@ -101,6 +102,7 @@ func runQuery(args []string) error {
 	workers := fs.Int("workers", 0, "crypto worker pool size per party (0 = all cores, 1 = sequential)")
 	timeout := fs.Duration("timeout", 2*time.Minute, "per-operation send/receive deadline for every party (0 disables)")
 	retries := fs.Int("retries", 5, "dial attempts to reach the mediator (backoff between attempts)")
+	concurrent := fs.Int("concurrent", 1, "run the query this many times concurrently over one multiplexed link")
 	csvOut := fs.String("csv", "", "write the result as CSV to this file instead of stdout")
 	var credPaths stringList
 	fs.Var(&credPaths, "cred", "credential JSON file (repeatable)")
@@ -160,10 +162,32 @@ func runQuery(args []string) error {
 	if err != nil {
 		return err
 	}
-	defer conn.Close()
-	res, err := client.Query(conn, *sql, proto, params)
-	if err != nil {
-		return err
+	// All protocol sessions run as virtual links over this one physical
+	// connection; the mediator's session layer demultiplexes them.
+	mux := session.NewMux(conn, session.Config{})
+	defer mux.Close()
+	runOne := func() (*relation.Relation, error) {
+		st, err := mux.Open()
+		if err != nil {
+			return nil, err
+		}
+		defer st.Close()
+		if *timeout > 0 {
+			st.SetTimeout(*timeout)
+		}
+		return client.Query(st, *sql, proto, params)
+	}
+	var res *relation.Relation
+	if *concurrent <= 1 {
+		res, err = runOne()
+		if err != nil {
+			return err
+		}
+	} else {
+		res, err = runConcurrent(*concurrent, runOne)
+		if err != nil {
+			return err
+		}
 	}
 	if *csvOut != "" {
 		f, err := os.Create(*csvOut)
@@ -175,6 +199,49 @@ func runQuery(args []string) error {
 	}
 	fmt.Print(res.Sort().String())
 	return nil
+}
+
+// runConcurrent runs n overlapping copies of the query over the shared
+// multiplexed link, reporting per-session outcomes; the first
+// successful result is returned (all sessions compute the same join).
+func runConcurrent(n int, runOne func() (*relation.Relation, error)) (*relation.Relation, error) {
+	type outcome struct {
+		res *relation.Relation
+		err error
+		d   time.Duration
+	}
+	start := time.Now()
+	outcomes := make(chan outcome, n)
+	for i := 0; i < n; i++ {
+		go func() {
+			s := time.Now()
+			res, err := runOne()
+			outcomes <- outcome{res: res, err: err, d: time.Since(s)}
+		}()
+	}
+	var res *relation.Relation
+	var firstErr error
+	failures := 0
+	for i := 0; i < n; i++ {
+		o := <-outcomes
+		if o.err != nil {
+			failures++
+			if firstErr == nil {
+				firstErr = o.err
+			}
+			fmt.Fprintf(os.Stderr, "medclient: session failed after %v: %v\n", o.d.Round(time.Millisecond), o.err)
+			continue
+		}
+		if res == nil {
+			res = o.res
+		}
+	}
+	fmt.Fprintf(os.Stderr, "medclient: %d/%d concurrent sessions completed in %v\n",
+		n-failures, n, time.Since(start).Round(time.Millisecond))
+	if res == nil {
+		return nil, firstErr
+	}
+	return res, nil
 }
 
 func parseProtocol(name string) (mediation.Protocol, error) {

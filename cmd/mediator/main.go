@@ -24,6 +24,7 @@ import (
 
 	"github.com/secmediation/secmediation/internal/mediation"
 	"github.com/secmediation/secmediation/internal/relation"
+	"github.com/secmediation/secmediation/internal/session"
 	"github.com/secmediation/secmediation/internal/telemetry"
 	"github.com/secmediation/secmediation/internal/transport"
 )
@@ -50,6 +51,8 @@ func main() {
 	timeout := flag.Duration("timeout", 2*time.Minute, "per-operation deadline on accepted client links before the request arrives (0 disables)")
 	maxMsg := flag.Int64("maxmsg", 0, "inbound message size limit in bytes (0 = default 256 MiB)")
 	retries := flag.Int("retries", 5, "dial attempts per datasource link (backoff between attempts)")
+	maxSessions := flag.Int("max-sessions", 64, "max concurrent protocol sessions (0 = unlimited)")
+	maxWaiting := flag.Int("max-waiting", 64, "sessions allowed to queue for a slot before overload rejects")
 	flag.Parse()
 
 	med, err := buildMediator(routes, hints)
@@ -61,28 +64,40 @@ func main() {
 		telemetry.Serve(*telemetryAddr, med.Telemetry)
 		log.Printf("telemetry endpoints at http://%s/metrics", *telemetryAddr)
 	}
+	// One persistent multiplexed link per datasource: every session dials
+	// through the pool, so overlapping queries share physical links
+	// instead of paying a TCP dial each.
 	pol := transport.RetryPolicy{Attempts: *retries, Telemetry: med.Telemetry}
-	dialSource = func(addr string) (transport.Conn, error) { return transport.DialRetry(addr, pol) }
+	pool := &session.Pool{
+		Dial:      func(addr string) (transport.Conn, error) { return transport.DialRetry(addr, pol) },
+		Telemetry: med.Telemetry,
+	}
+	dialSource = func(addr string) (transport.Conn, error) {
+		st, err := pool.Open(addr)
+		if err != nil {
+			return nil, err
+		}
+		return st, nil
+	}
 	l, err := transport.Listen(*listen)
 	if err != nil {
 		log.Fatalf("mediator: %v", err)
 	}
 	l.MaxMessage = *maxMsg
 	log.Printf("mediator serving %d relation route(s) at %s", len(med.Routes), l.Addr())
-	for {
-		conn, err := l.Accept()
-		if err != nil {
-			log.Fatalf("mediator: accept: %v", err)
-		}
-		go func() {
-			defer conn.Close()
+	srv := &session.Server{
+		Handler: func(conn transport.Conn) error {
 			// Bound the wait for the request itself; once it arrives, its
 			// Params.Timeout (the client's choice) re-arms the link.
 			conn.SetTimeout(*timeout)
-			if err := med.HandleSession(conn); err != nil {
-				log.Printf("session: %v", err)
-			}
-		}()
+			return med.HandleSession(conn)
+		},
+		Gate:      session.NewGate(*maxSessions, *maxWaiting, med.Telemetry),
+		Telemetry: med.Telemetry,
+		Logf:      log.Printf,
+	}
+	if err := srv.Serve(session.AcceptTimeout(l, *timeout)); err != nil {
+		log.Fatalf("mediator: serve: %v", err)
 	}
 }
 

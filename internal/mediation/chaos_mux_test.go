@@ -1,0 +1,277 @@
+package mediation
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	rel "github.com/secmediation/secmediation/internal/relation"
+	"github.com/secmediation/secmediation/internal/session"
+	"github.com/secmediation/secmediation/internal/testutil"
+	"github.com/secmediation/secmediation/internal/transport"
+)
+
+// Chaos under multiplexing: inject faults into ONE virtual session of a
+// shared client↔mediator link and assert the failure-isolation
+// contract — the faulted session aborts with a typed *ProtocolError (or
+// completes, for benign faults) while sibling sessions on the same
+// physical link produce the correct join, with no goroutine leaks.
+
+// muxMediator serves HandleSession once per virtual session over one
+// shared in-memory link and returns the client-side mux plus a shutdown
+// function that waits for every session handler to unwind.
+func muxMediator(n *Network) (*session.Mux, func()) {
+	clientSide, mediatorSide := transport.Pair()
+	cm := session.NewMux(clientSide, session.Config{})
+	sm := session.NewMux(mediatorSide, session.Config{Server: true})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			st, err := sm.Accept()
+			if err != nil {
+				return
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer st.Close()
+				_ = n.Mediator.HandleSession(st)
+			}()
+		}
+	}()
+	shutdown := func() {
+		_ = cm.Close()
+		_ = sm.Close()
+		wg.Wait()
+	}
+	return cm, shutdown
+}
+
+// TestChaosMuxSessionIsolation runs one faulted session alongside clean
+// siblings over a single multiplexed link, for each fault class the
+// per-session injector can express.
+func TestChaosMuxSessionIsolation(t *testing.T) {
+	seed := chaosSeed(t)
+	want := expectedJoin(t)
+	classes := []transport.FaultClass{
+		transport.FaultDrop, transport.FaultDelay,
+		transport.FaultCorrupt, transport.FaultTruncate, transport.FaultClose,
+	}
+	const siblings = 3
+	for _, class := range classes {
+		class := class
+		t.Run(class.String(), func(t *testing.T) {
+			snap := testutil.Snapshot()
+			n := newTestNetwork(t, nil)
+			cm, shutdown := muxMediator(n)
+			params := fastParams()
+			params.Timeout = chaosTimeout
+
+			type result struct {
+				faulted bool
+				res     *rel.Relation
+				err     error
+			}
+			results := make(chan result, siblings+1)
+			var wg sync.WaitGroup
+			runQuery := func(faulted bool) {
+				defer wg.Done()
+				st, err := cm.Open()
+				if err != nil {
+					results <- result{faulted: faulted, err: err}
+					return
+				}
+				conn := transport.Conn(st)
+				if faulted {
+					// Wrap the virtual link, not the physical one: the
+					// fault hits this session's frames only.
+					conn = transport.WrapFault(st, &transport.FaultPlan{
+						Class: class, SendOp: -1, RecvOp: 0,
+						Seed: seed ^ uint64(class),
+					})
+				}
+				res, err := n.Client.Query(conn, fixtureSQL, ProtocolDAS, params)
+				if cerr := conn.Close(); err == nil && cerr != nil {
+					err = cerr
+				}
+				results <- result{faulted: faulted, res: res, err: err}
+			}
+			wg.Add(siblings + 1)
+			go runQuery(true)
+			for i := 0; i < siblings; i++ {
+				go runQuery(false)
+			}
+			if err := testutil.WithinDeadline(t, 4*chaosTimeout, func() error {
+				wg.Wait()
+				return nil
+			}); err != nil {
+				t.Fatalf("sessions did not settle: %v", err)
+			}
+			close(results)
+
+			for r := range results {
+				if !r.faulted {
+					// The failure-isolation contract: siblings sharing the
+					// link with the faulted session still succeed.
+					if r.err != nil {
+						t.Errorf("sibling session failed under %s fault: %v", class, r.err)
+						continue
+					}
+					if !r.res.EqualMultiset(want) {
+						t.Errorf("sibling session returned a wrong join under %s fault", class)
+					}
+					continue
+				}
+				switch class {
+				case transport.FaultDelay:
+					// A slow session is not a fault.
+					if r.err != nil {
+						t.Errorf("delayed session failed: %v", r.err)
+					} else if !r.res.EqualMultiset(want) {
+						t.Errorf("delayed session returned a wrong join")
+					}
+				default:
+					// Drop, corrupt, truncate, close on the first
+					// delivery-phase message cannot produce the join: the
+					// session must abort with a typed error.
+					if r.err == nil {
+						t.Errorf("%s fault on the session went unnoticed", class)
+						continue
+					}
+					var pe *ProtocolError
+					if !errors.As(r.err, &pe) {
+						t.Errorf("untyped %s fault error: %v", class, r.err)
+					}
+				}
+			}
+			shutdown()
+			n.SourceErrors() // drain; faulted runs may log source aborts
+			testutil.CheckGoroutines(t, snap)
+		})
+	}
+}
+
+// TestChaosMuxSequentialRecovery checks that a mux link survives serving
+// a faulted session and then carries fresh, clean sessions: failure
+// isolation must hold over time, not just concurrently.
+func TestChaosMuxSequentialRecovery(t *testing.T) {
+	seed := chaosSeed(t)
+	want := expectedJoin(t)
+	snap := testutil.Snapshot()
+	n := newTestNetwork(t, nil)
+	cm, shutdown := muxMediator(n)
+	params := fastParams()
+	params.Timeout = chaosTimeout
+
+	// Round 1: a session whose first received message is dropped times
+	// out with a typed error.
+	st, err := cm.Open()
+	if err != nil {
+		t.Fatalf("open faulted session: %v", err)
+	}
+	faulted := transport.WrapFault(st, &transport.FaultPlan{
+		Class: transport.FaultDrop, SendOp: -1, RecvOp: 0, Seed: seed,
+	})
+	qerr := testutil.WithinDeadline(t, 2*chaosTimeout, func() error {
+		_, err := n.Client.Query(faulted, fixtureSQL, ProtocolCommutative, params)
+		return err
+	})
+	if qerr == nil {
+		t.Fatal("dropped message went unnoticed")
+	}
+	var pe *ProtocolError
+	if !errors.As(qerr, &pe) {
+		t.Fatalf("untyped drop error: %v", qerr)
+	}
+	if err := faulted.Close(); err != nil {
+		t.Logf("closing faulted session: %v", err)
+	}
+
+	// Round 2: fresh sessions over the SAME link still work.
+	for i := 0; i < 2; i++ {
+		st, err := cm.Open()
+		if err != nil {
+			t.Fatalf("open clean session %d: %v", i, err)
+		}
+		res, err := n.Client.Query(st, fixtureSQL, ProtocolCommutative, params)
+		if cerr := st.Close(); err == nil && cerr != nil {
+			err = cerr
+		}
+		if err != nil {
+			t.Fatalf("clean session %d after faulted one: %v", i, err)
+		}
+		if !res.EqualMultiset(want) {
+			t.Fatalf("clean session %d returned a wrong join", i)
+		}
+	}
+	shutdown()
+	n.SourceErrors()
+	testutil.CheckGoroutines(t, snap)
+}
+
+// TestChaosMuxLinkDeath checks the complementary contract: when the
+// PHYSICAL link dies mid-protocol, every session on it aborts with a
+// typed error within the deadline — nobody hangs.
+func TestChaosMuxLinkDeath(t *testing.T) {
+	want := expectedJoin(t)
+	snap := testutil.Snapshot()
+	n := newTestNetwork(t, nil)
+	cm, shutdown := muxMediator(n)
+	params := fastParams()
+	params.Timeout = chaosTimeout
+
+	// A completed session first, so the link is known-good.
+	st, err := cm.Open()
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	res, err := n.Client.Query(st, fixtureSQL, ProtocolDAS, params)
+	if cerr := st.Close(); err == nil && cerr != nil {
+		err = cerr
+	}
+	if err != nil {
+		t.Fatalf("warm-up session: %v", err)
+	}
+	if !res.EqualMultiset(want) {
+		t.Fatal("warm-up session returned a wrong join")
+	}
+
+	// Open sessions, then kill the physical link under them.
+	const victims = 3
+	var wg sync.WaitGroup
+	errs := make(chan error, victims)
+	for i := 0; i < victims; i++ {
+		stream, err := cm.Open()
+		if err != nil {
+			t.Fatalf("open victim %d: %v", i, err)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := n.Client.Query(stream, fixtureSQL, ProtocolPM, params)
+			errs <- err
+		}()
+	}
+	shutdown() // closes both muxes: the shared link is gone
+	if err := testutil.WithinDeadline(t, 2*chaosTimeout, func() error {
+		wg.Wait()
+		return nil
+	}); err != nil {
+		t.Fatalf("victim sessions did not settle: %v", err)
+	}
+	close(errs)
+	for err := range errs {
+		if err == nil {
+			t.Error("session on a dead link reported success")
+			continue
+		}
+		var pe *ProtocolError
+		if !errors.As(err, &pe) {
+			t.Errorf("untyped link-death error: %v", err)
+		}
+	}
+	n.SourceErrors()
+	testutil.CheckGoroutines(t, snap)
+}

@@ -108,6 +108,7 @@ func (c *Client) Query(conn transport.Conn, sql string, proto Protocol, params P
 	}
 	root := c.telemetry(params).Tracer(leakage.PartyClient).Start("session")
 	root.Annotate("protocol", proto.String())
+	annotateSession(root, conn)
 	defer root.End()
 	watch := newStopwatch(c.Ledger, leakage.PartyClient)
 	watch.attach(root)

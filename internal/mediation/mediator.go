@@ -86,6 +86,7 @@ func (m *Mediator) handleSession(client transport.Conn) error {
 
 	root := m.Telemetry.Tracer(leakage.PartyMediator).Start("session")
 	root.Annotate("protocol", req.Protocol.String())
+	annotateSession(root, client)
 	defer root.End()
 
 	// Listing 1, steps 2–3 are the querying phase: decompose, localize,

@@ -25,6 +25,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"strconv"
 	"time"
 
 	"github.com/secmediation/secmediation/internal/crypto/commutative"
@@ -303,6 +304,26 @@ func attribute(party, phase string, err error) error {
 func countTimeout(reg *telemetry.Registry, party string, err error) {
 	if reg.Enabled() && errors.Is(err, transport.ErrTimeout) {
 		reg.Counter("mediation_timeouts", "party", party).Add(1)
+	}
+}
+
+// linkSessionID reports the mux session ID of a virtual link, when conn
+// is a session-layer stream (any conn exposing SessionID). Plain links
+// report false, and per-session telemetry roots stay unannotated.
+func linkSessionID(conn transport.Conn) (uint64, bool) {
+	s, ok := conn.(interface{ SessionID() uint64 })
+	if !ok {
+		return 0, false
+	}
+	return s.SessionID(), true
+}
+
+// annotateSession tags a telemetry root span with the mux session ID of
+// the link it serves, tying each span tree to one virtual link of a
+// multiplexed deployment.
+func annotateSession(root *telemetry.Span, conn transport.Conn) {
+	if sid, ok := linkSessionID(conn); ok {
+		root.Annotate("mux-session", strconv.FormatUint(sid, 10))
 	}
 }
 

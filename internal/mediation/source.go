@@ -74,6 +74,7 @@ func (s *Source) Serve(conn transport.Conn) error {
 	root := s.Telemetry.Tracer(s.party()).Start("session")
 	root.Annotate("protocol", pq.Protocol.String())
 	root.Annotate("relation", pq.Relation)
+	annotateSession(root, conn)
 	defer root.End()
 	defer trafficGauges(s.Telemetry, s.party(), "mediator", conn.Stats())
 	watch := newStopwatch(s.Ledger, s.party())

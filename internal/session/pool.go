@@ -1,0 +1,141 @@
+package session
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/secmediation/secmediation/internal/telemetry"
+	"github.com/secmediation/secmediation/internal/transport"
+)
+
+// Pool keeps one persistent multiplexed link per dialed peer. Open
+// returns a fresh session over the cached link, dialing only on first
+// use; when a cached link has died, Open drops it and redials once
+// transparently. This is what turns the mediator's dial-per-query relay
+// into a long-lived topology: a thousand queries against the same two
+// sources cost one TCP dial each, not a thousand.
+//
+// All methods are safe for concurrent use.
+type Pool struct {
+	// Dial establishes the physical link; nil selects transport.Dial.
+	Dial func(addr string) (transport.Conn, error)
+	// Mux configures the per-link muxes (client role; Server is forced
+	// off). A nil Telemetry inherits the Pool's.
+	Mux Config
+	// Telemetry optionally records pool activity (links dialed,
+	// redials). Nil records nothing.
+	Telemetry *telemetry.Registry
+
+	mu    sync.Mutex
+	links map[string]*poolLink
+}
+
+// poolLink is one per-address entry: concurrent Opens share a single
+// dial through the once.
+type poolLink struct {
+	once sync.Once
+	mux  *Mux
+	err  error
+}
+
+// Open returns a new session to the peer at addr, dialing the link if
+// this is the first use and redialing once if the cached link is dead.
+func (p *Pool) Open(addr string) (*Stream, error) {
+	var lastErr error
+	for attempt := 0; attempt < 2; attempt++ {
+		entry := p.entry(addr)
+		entry.once.Do(func() { entry.dial(p, addr, attempt > 0) })
+		if entry.err != nil {
+			p.drop(addr, entry)
+			lastErr = entry.err
+			continue
+		}
+		st, err := entry.mux.Open()
+		if err == nil {
+			return st, nil
+		}
+		// The cached link died since the last query; retire it and let
+		// the next attempt dial fresh.
+		p.drop(addr, entry)
+		lastErr = err
+	}
+	return nil, fmt.Errorf("session: pool open %s: %w", addr, lastErr)
+}
+
+// entry returns the current (possibly still undialed) link entry for
+// addr, creating it if absent.
+func (p *Pool) entry(addr string) *poolLink {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.links == nil {
+		p.links = make(map[string]*poolLink)
+	}
+	e := p.links[addr]
+	if e == nil {
+		e = &poolLink{}
+		p.links[addr] = e
+	}
+	return e
+}
+
+// dial runs under the entry's once: every concurrent Open for the same
+// address shares one physical dial.
+func (e *poolLink) dial(p *Pool, addr string, redial bool) {
+	dial := p.Dial
+	if dial == nil {
+		dial = transport.Dial
+	}
+	conn, err := dial(addr)
+	if err != nil {
+		e.err = err
+		return
+	}
+	cfg := p.Mux
+	cfg.Server = false
+	if cfg.Telemetry == nil {
+		cfg.Telemetry = p.Telemetry
+	}
+	e.mux = NewMux(conn, cfg)
+	if p.Telemetry.Enabled() {
+		p.Telemetry.Counter("pool_links_dialed").Add(1)
+		if redial {
+			p.Telemetry.Counter("pool_links_redialed").Add(1)
+		}
+	}
+}
+
+// drop retires a link entry: the table slot is freed for a fresh dial
+// and the dead mux (if any) is closed.
+func (p *Pool) drop(addr string, entry *poolLink) {
+	p.mu.Lock()
+	if p.links[addr] == entry {
+		delete(p.links, addr)
+	}
+	p.mu.Unlock()
+	if entry.mux != nil {
+		if err := entry.mux.Close(); err != nil {
+			// The link is being discarded; a close error on an
+			// already-dead socket carries no information.
+			return
+		}
+	}
+}
+
+// Close tears down every cached link. Sessions still running over them
+// fail with ErrMuxClosed.
+func (p *Pool) Close() error {
+	p.mu.Lock()
+	links := p.links
+	p.links = nil
+	p.mu.Unlock()
+	var first error
+	for _, e := range links {
+		if e.mux == nil {
+			continue
+		}
+		if err := e.mux.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

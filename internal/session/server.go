@@ -1,0 +1,264 @@
+package session
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/secmediation/secmediation/internal/telemetry"
+	"github.com/secmediation/secmediation/internal/transport"
+)
+
+// Backoff bounds for the accept loop: a transient Accept failure (file
+// descriptor exhaustion, a half-open connection reset) is retried, with
+// the delay doubling per consecutive failure up to the cap.
+const (
+	acceptBackoffMin = 50 * time.Millisecond
+	acceptBackoffMax = 2 * time.Second
+)
+
+// Acceptor is the listener surface a Server consumes;
+// *transport.Listener satisfies it.
+type Acceptor interface {
+	Accept() (transport.Conn, error)
+}
+
+// AcceptTimeout wraps an Acceptor so every accepted link comes up with a
+// per-operation timeout already armed. This bounds the Server's sniff of
+// the first message — a peer that connects and never speaks cannot park
+// a serve goroutine forever. Multiplexed links tolerate the armed
+// timeout when idle (the demux loop treats link-level receive timeouts
+// as idleness), and protocol sessions re-arm their own deadlines once
+// the request arrives.
+func AcceptTimeout(l Acceptor, d time.Duration) Acceptor {
+	if d <= 0 {
+		return l
+	}
+	return acceptTimeout{l: l, d: d}
+}
+
+type acceptTimeout struct {
+	l Acceptor
+	d time.Duration
+}
+
+func (a acceptTimeout) Accept() (transport.Conn, error) {
+	conn, err := a.l.Accept()
+	if err != nil {
+		return nil, err
+	}
+	conn.SetTimeout(a.d)
+	return conn, nil
+}
+
+// Server is the long-lived serve loop a mediator or datasource runs: it
+// accepts physical links forever (transient accept errors retry with
+// capped backoff instead of killing the process), speaks both plain
+// single-session links and multiplexed links from the same listener,
+// applies Gate admission control, and runs Handler once per session with
+// per-session traffic telemetry.
+type Server struct {
+	// Handler serves one protocol session over one virtual (or plain)
+	// link. The Server closes the conn after Handler returns.
+	Handler func(conn transport.Conn) error
+	// Gate optionally bounds concurrent sessions across all links. Nil
+	// admits everything. Sessions rejected by the gate fail the opener
+	// with ErrOverloaded.
+	Gate *Gate
+	// Mux configures the per-link muxes; Server is forced on. A nil
+	// Telemetry inherits the Server's.
+	Mux Config
+	// Telemetry optionally records serve-loop metrics (accept errors,
+	// link and session counters, per-session byte histograms). Nil
+	// records nothing.
+	Telemetry *telemetry.Registry
+	// Logf, when set, receives serve-loop diagnostics (accept retries,
+	// session failures).
+	Logf func(format string, args ...any)
+
+	// sleep is the backoff clock; tests shrink it.
+	sleep func(time.Duration)
+	// links tracks live physical links for the links_active gauge.
+	links atomic.Int64
+}
+
+// Serve accepts links until the listener fails permanently. It returns
+// nil when the listener is closed (net.ErrClosed) — the orderly shutdown
+// path — and never terminates the process on a transient accept error.
+func (s *Server) Serve(l Acceptor) error {
+	sleep := s.sleep
+	if sleep == nil {
+		sleep = time.Sleep
+	}
+	backoff := time.Duration(0)
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			s.count("accept_errors")
+			s.logf("session: accept failed (retrying): %v", err)
+			if backoff < acceptBackoffMin {
+				backoff = acceptBackoffMin
+			} else if backoff *= 2; backoff > acceptBackoffMax {
+				backoff = acceptBackoffMax
+			}
+			sleep(backoff)
+			continue
+		}
+		backoff = 0
+		s.count("links_accepted")
+		go s.serveLink(conn)
+	}
+}
+
+// serveLink classifies one physical link by its first message: a mux
+// frame makes it a multiplexed link carrying many sessions, anything
+// else a plain single-session link (the first message is replayed to the
+// handler, so pre-mux clients keep working).
+func (s *Server) serveLink(conn transport.Conn) {
+	s.gaugeLinks(1)
+	defer s.gaugeLinks(-1)
+	first, err := conn.Recv()
+	if err != nil {
+		// The peer connected and vanished before speaking; nothing to
+		// serve.
+		if cerr := conn.Close(); cerr != nil {
+			s.logf("session: close dead link: %v", cerr)
+		}
+		return
+	}
+	if !IsMuxFrame(first.Type) {
+		s.servePlain(conn, first)
+		return
+	}
+	cfg := s.Mux
+	cfg.Server = true
+	if cfg.Telemetry == nil {
+		cfg.Telemetry = s.Telemetry
+	}
+	mux := newMux(conn, cfg, []transport.Message{first})
+	defer func() {
+		if cerr := mux.Close(); cerr != nil {
+			s.logf("session: close link: %v", cerr)
+		}
+	}()
+	for {
+		st, err := mux.Accept()
+		if err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, ErrMuxClosed) {
+				s.logf("session: link failed: %v", err)
+			}
+			return
+		}
+		go s.runSession(st)
+	}
+}
+
+// servePlain runs a single-session (non-multiplexed) link through the
+// gate and handler. Under overload there is no session to reject
+// individually, so the link is simply closed.
+func (s *Server) servePlain(conn transport.Conn, first transport.Message) {
+	if err := s.Gate.Acquire(); err != nil {
+		s.logf("session: plain link rejected: %v", err)
+		if cerr := conn.Close(); cerr != nil {
+			s.logf("session: close rejected link: %v", cerr)
+		}
+		return
+	}
+	defer s.Gate.Release()
+	s.handle(&replayConn{conn: conn, first: &first})
+}
+
+// runSession admits one multiplexed session and hands it to the
+// handler. A gate reject travels back to the opener as a typed reject
+// frame (ErrOverloaded on their side) while sibling sessions proceed.
+func (s *Server) runSession(st *Stream) {
+	if err := s.Gate.Acquire(); err != nil {
+		st.Reject()
+		return
+	}
+	defer s.Gate.Release()
+	s.handle(st)
+}
+
+// handle runs the Handler for one session and settles its telemetry:
+// completion/failure counters and the per-session wire-byte
+// histograms.
+func (s *Server) handle(conn transport.Conn) {
+	err := s.Handler(conn)
+	if cerr := conn.Close(); cerr != nil {
+		s.logf("session: close session: %v", cerr)
+	}
+	if err != nil {
+		s.count("sessions_failed")
+		s.logf("session: handler: %v", err)
+	} else {
+		s.count("sessions_completed")
+	}
+	if s.Telemetry.Enabled() {
+		st := conn.Stats()
+		s.Telemetry.Histogram("session_bytes_sent").Observe(st.BytesSent())
+		s.Telemetry.Histogram("session_bytes_recv").Observe(st.BytesRecv())
+	}
+}
+
+func (s *Server) count(name string) {
+	if s.Telemetry.Enabled() {
+		s.Telemetry.Counter(name).Add(1)
+	}
+}
+
+func (s *Server) gaugeLinks(delta int64) {
+	n := s.links.Add(delta)
+	if s.Telemetry.Enabled() {
+		s.Telemetry.Gauge("links_active").Set(n)
+	}
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.Logf != nil {
+		s.Logf(format, args...)
+	}
+}
+
+// replayConn re-delivers the message the Server consumed while sniffing
+// a plain link, then delegates to the wrapped conn.
+type replayConn struct {
+	conn  transport.Conn
+	mu    sync.Mutex
+	first *transport.Message
+}
+
+func (r *replayConn) Recv() (transport.Message, error) {
+	r.mu.Lock()
+	if m := r.first; m != nil {
+		r.first = nil
+		r.mu.Unlock()
+		return *m, nil
+	}
+	r.mu.Unlock()
+	return r.conn.Recv()
+}
+
+// Expect must route through the replaying Recv, not the wrapped conn's.
+func (r *replayConn) Expect(typ string) (transport.Message, error) {
+	m, err := r.Recv()
+	if err != nil {
+		return transport.Message{}, err
+	}
+	if m.Type != typ {
+		return transport.Message{}, fmt.Errorf("transport: expected message %q, got %q", typ, m.Type)
+	}
+	return m, nil
+}
+
+func (r *replayConn) Send(m transport.Message) error { return r.conn.Send(m) }
+func (r *replayConn) Close() error                   { return r.conn.Close() }
+func (r *replayConn) SetTimeout(d time.Duration)     { r.conn.SetTimeout(d) }
+func (r *replayConn) Stats() *transport.Stats        { return r.conn.Stats() }

@@ -1,0 +1,109 @@
+package session
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/secmediation/secmediation/internal/testutil"
+	"github.com/secmediation/secmediation/internal/transport"
+)
+
+// TestStressInterleavedSessions drives well over 32 concurrent sessions
+// through one mux with a deliberately small queue depth, so demux
+// backpressure, open/close interleaving and per-session ordering all
+// get exercised under the race detector (the Makefile race target runs
+// this package).
+func TestStressInterleavedSessions(t *testing.T) {
+	const (
+		sessions = 40
+		msgs     = 25
+	)
+	snap := testutil.Snapshot()
+	a, b := transport.Pair()
+	cm := NewMux(a, Config{QueueDepth: 4})
+	sm := NewMux(b, Config{Server: true, QueueDepth: 4})
+	defer func() {
+		if err := cm.Close(); err != nil {
+			t.Logf("client mux close: %v", err)
+		}
+		if err := sm.Close(); err != nil {
+			t.Logf("server mux close: %v", err)
+		}
+		testutil.CheckGoroutines(t, snap)
+	}()
+
+	// Server: echo loop per session.
+	go func() {
+		for {
+			st, err := sm.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer st.Close()
+				for {
+					m, err := st.Recv()
+					if err != nil {
+						return
+					}
+					if err := st.Send(m); err != nil {
+						return
+					}
+				}
+			}()
+		}
+	}()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, sessions)
+	for i := 0; i < sessions; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			st, err := cm.Open()
+			if err != nil {
+				errs <- fmt.Errorf("session %d open: %w", i, err)
+				return
+			}
+			defer st.Close()
+			st.SetTimeout(10 * time.Second)
+			// Pipeline a small burst, then strict request/response, so
+			// both queued and alternating traffic interleave across
+			// sessions.
+			burst := 3
+			for j := 0; j < burst; j++ {
+				if err := st.Send(transport.Message{Type: fmt.Sprintf("s%d.m%d", i, j)}); err != nil {
+					errs <- fmt.Errorf("session %d burst send: %w", i, err)
+					return
+				}
+			}
+			for j := 0; j < msgs; j++ {
+				if j+burst < msgs {
+					if err := st.Send(transport.Message{Type: fmt.Sprintf("s%d.m%d", i, j+burst)}); err != nil {
+						errs <- fmt.Errorf("session %d send: %w", i, err)
+						return
+					}
+				}
+				m, err := st.Recv()
+				if err != nil {
+					errs <- fmt.Errorf("session %d recv %d: %w", i, j, err)
+					return
+				}
+				if want := fmt.Sprintf("s%d.m%d", i, j); m.Type != want {
+					errs <- fmt.Errorf("session %d: got %q, want %q", i, m.Type, want)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if n := cm.Sessions(); n != 0 {
+		t.Errorf("%d sessions still registered on client mux", n)
+	}
+}

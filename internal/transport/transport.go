@@ -39,6 +39,12 @@ type Message struct {
 // size returns the accounted wire size of the message.
 func (m Message) size() int { return len(m.Type) + len(m.Body) }
 
+// Size returns the accounted wire size of the message (type tag plus
+// body bytes) — the unit the in-memory transport counts in. Exported for
+// Conn wrappers outside this package (the session mux) that maintain
+// their own per-endpoint Stats.
+func (m Message) Size() int { return m.size() }
+
 // Encode gob-encodes a payload struct into a message body.
 // seclint:wire gob-encodes the payload for a link
 func Encode(v any) ([]byte, error) {
@@ -105,6 +111,20 @@ func (s *Stats) BytesSent() int64 { return s.bytesSent.Load() }
 
 // BytesRecv returns the accounted bytes received.
 func (s *Stats) BytesRecv() int64 { return s.bytesRecv.Load() }
+
+// CountSend records one sent message of the given accounted size.
+// Exported for Conn wrappers outside this package (the session mux) that
+// attribute a shared link's traffic to per-session counters.
+func (s *Stats) CountSend(bytes int64) {
+	s.msgsSent.Add(1)
+	s.bytesSent.Add(bytes)
+}
+
+// CountRecv records one received message of the given accounted size.
+func (s *Stats) CountRecv(bytes int64) {
+	s.msgsRecv.Add(1)
+	s.bytesRecv.Add(bytes)
+}
 
 // chanConn is an in-memory Conn over buffered channels.
 type chanConn struct {
