@@ -1,15 +1,17 @@
 GO ?= go
 
-.PHONY: all ci vet lint lint-json lint-sarif build test test-short race chaos bench bench-smoke parallel-report telemetry-report large-report sessions-report
+.PHONY: all ci vet lint lint-json lint-sarif build test test-short race chaos soak soak-short bench bench-smoke parallel-report telemetry-report large-report sessions-report
 
 all: vet lint build test race
 
 # The aggregate pre-merge gate: everything `all` runs, ordered so the
 # cheap fast-failing steps (build, vet, lint — including the
 # whole-program plaintaint/keyscope taint analysis) come before the
-# test suites, plus a -short -race pass over the full module and the
-# tiny-row medbench sweep that guards the BENCH JSON schema.
-ci: build vet lint test race test-short bench-smoke
+# test suites, plus a -short -race pass over the full module, the
+# tiny-row medbench sweep that guards the BENCH JSON schema, and the
+# compressed chaos soak that gates the query-lifecycle recovery
+# contract.
+ci: build vet lint test race test-short bench-smoke soak-short
 
 vet:
 	$(GO) vet ./...
@@ -56,6 +58,18 @@ race:
 chaos:
 	$(GO) test -race -count=1 -run 'TestChaos|TestSourceCrash|TestSilent|TestMediatorCrash' ./internal/mediation
 	$(GO) test -race -count=1 ./internal/session
+
+# The query-lifecycle recovery gate (docs/RESILIENCE.md): the full chaos
+# soak — retry orchestration, per-peer circuit breakers, admission
+# overload and graceful drain on a live TCP deployment under seeded
+# faults and source kill/restart. Fails on any invariant violation and
+# regenerates BENCH_soak.json. `soak-short` is the compressed variant
+# wired into `ci`.
+soak:
+	$(GO) run ./cmd/medbench -table soak
+
+soak-short:
+	$(GO) test -count=1 -run TestSoakShort ./cmd/medbench
 
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x ./...

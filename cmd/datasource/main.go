@@ -14,11 +14,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"github.com/secmediation/secmediation/internal/algebra"
@@ -53,6 +56,7 @@ func main() {
 	maxMsg := flag.Int64("maxmsg", 0, "inbound message size limit in bytes (0 = default 256 MiB)")
 	maxSessions := flag.Int("max-sessions", 64, "max concurrent protocol sessions (0 = unlimited)")
 	maxWaiting := flag.Int("max-waiting", 64, "sessions allowed to queue for a slot before overload rejects")
+	drain := flag.Duration("drain", 20*time.Second, "on SIGTERM/SIGINT, let in-flight sessions finish for up to this long before forcing links closed")
 	flag.Parse()
 
 	src, err := buildSource(*name, cas, rels, requires)
@@ -77,13 +81,29 @@ func main() {
 			conn.SetTimeout(*timeout)
 			return src.Serve(conn)
 		},
-		Gate:      session.NewGate(*maxSessions, *maxWaiting, src.Telemetry),
-		Telemetry: src.Telemetry,
-		Logf:      log.Printf,
+		Gate:           session.NewGate(*maxSessions, *maxWaiting, src.Telemetry),
+		Telemetry:      src.Telemetry,
+		Logf:           log.Printf,
+		RetryAfterHint: 500 * time.Millisecond,
 	}
+	// SIGTERM/SIGINT starts a graceful drain: close the listener (Serve
+	// returns), then let in-flight sessions finish before closing links.
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		s := <-sigs
+		log.Printf("datasource: received %v, draining (deadline %v)", s, *drain)
+		l.Close()
+	}()
 	if err := srv.Serve(session.AcceptTimeout(l, *timeout)); err != nil {
 		log.Fatalf("datasource: serve: %v", err)
 	}
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Fatalf("datasource: drain deadline exceeded, %d session(s) forced closed: %v", srv.InFlight(), err)
+	}
+	log.Printf("datasource: drained cleanly")
 }
 
 func buildSource(name string, cas, rels, requires stringList) (*mediation.Source, error) {

@@ -16,10 +16,16 @@
 //	                          overlapping queries over one multiplexed TCP
 //	                          link vs dial-per-query, plus the admission
 //	                          overload arm (writes BENCH_sessions.json)
+//	medbench -table soak      query-lifecycle fault-recovery soak: retry
+//	                          orchestration + circuit breakers + graceful
+//	                          drain under seeded link faults and source
+//	                          kill/restart; fails on any invariant
+//	                          violation (writes BENCH_soak.json)
 //	medbench -table all  everything except large (which sizes itself by -scale,
-//	                     not the -rows/-domain toy knobs) and sessions (which
-//	                     measures the deployment transport, not the paper's
-//	                     evaluation artifacts)
+//	                     not the -rows/-domain toy knobs), sessions and soak
+//	                     (which measure the deployment transport and its
+//	                     fault recovery, not the paper's evaluation
+//	                     artifacts)
 //
 // Workload knobs: -rows, -domain, -overlap, -groupbits, -paillier; the
 // large table is sized by -scale alone (scale 1 = 150k customer / 1.5M
@@ -43,7 +49,7 @@ import (
 )
 
 func main() {
-	table := flag.String("table", "all", "which table to regenerate: 1|2|3|4|5|parallel|phases|large|sessions|all")
+	table := flag.String("table", "all", "which table to regenerate: 1|2|3|4|5|parallel|phases|large|sessions|soak|all")
 	rows := flag.Int("rows", 200, "tuples per relation")
 	domain := flag.Int("domain", 50, "active-domain size of the join attribute")
 	overlap := flag.Float64("overlap", 0.5, "fraction of shared join values")
@@ -52,6 +58,9 @@ func main() {
 	paillierBits := flag.Int("paillier", 1024, "Paillier modulus size")
 	scale := flag.Float64("scale", 0.01, "TPC-H scale factor for -table large (1 = 150k/1.5M rows)")
 	jsonOut := flag.String("json", "", `machine-readable output path ("" = per-table default, "-" = stdout JSON only)`)
+	soakClients := flag.Int("soak-clients", 8, "concurrent query streams in the -table soak steady arm")
+	soakDuration := flag.Duration("soak-duration", 10*time.Second, "length of the -table soak steady arm")
+	soakSeed := flag.Uint64("soak-seed", 20070415, "seed of the -table soak fault schedule")
 	flag.Parse()
 
 	if *table == "large" {
@@ -88,6 +97,8 @@ func main() {
 		err = h.tablePhases(orDefault(*jsonOut, "BENCH_phases.json"))
 	case "sessions":
 		err = h.tableSessions(orDefault(*jsonOut, "BENCH_sessions.json"))
+	case "soak":
+		err = h.tableSoak(*soakClients, *soakDuration, *soakSeed, orDefault(*jsonOut, "BENCH_soak.json"))
 	case "all":
 		parallelTable := func() error { return h.tableParallel(orDefault(*jsonOut, "BENCH_parallel.json")) }
 		phasesTable := func() error { return h.tablePhases(orDefault(*jsonOut, "BENCH_phases.json")) }

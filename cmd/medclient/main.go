@@ -15,6 +15,7 @@ import (
 	"crypto/rand"
 	"crypto/rsa"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -26,8 +27,18 @@ import (
 	"github.com/secmediation/secmediation/internal/keyio"
 	"github.com/secmediation/secmediation/internal/mediation"
 	"github.com/secmediation/secmediation/internal/relation"
+	"github.com/secmediation/secmediation/internal/resilience"
 	"github.com/secmediation/secmediation/internal/session"
 	"github.com/secmediation/secmediation/internal/transport"
+)
+
+// Exit codes: 0 success, 1 terminal failure (protocol violation, policy
+// denial, bad flags), 3 retries exhausted on transient faults. Scripts
+// can tell "retry the whole run later" (3) from "this query can never
+// succeed" (1).
+const (
+	exitTerminal  = 1
+	exitExhausted = 3
 )
 
 func main() {
@@ -45,7 +56,10 @@ func main() {
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "medclient:", err)
-		os.Exit(1)
+		if errors.Is(err, resilience.ErrRetriesExhausted) {
+			os.Exit(exitExhausted)
+		}
+		os.Exit(exitTerminal)
 	}
 }
 
@@ -101,7 +115,8 @@ func runQuery(args []string) error {
 	buckets := fs.Int("buckets", 0, "PM FNP bucket count (0 = single polynomial)")
 	workers := fs.Int("workers", 0, "crypto worker pool size per party (0 = all cores, 1 = sequential)")
 	timeout := fs.Duration("timeout", 2*time.Minute, "per-operation send/receive deadline for every party (0 disables)")
-	retries := fs.Int("retries", 5, "dial attempts to reach the mediator (backoff between attempts)")
+	retries := fs.Int("retries", 4, "attempts per query: transient faults (dial failure, timeout, overload, drain, link death) are retried with backoff; protocol errors are not")
+	retryBudget := fs.Duration("retry-budget", 0, "total elapsed-time budget across a query's attempts (0 = bounded by -retries only)")
 	concurrent := fs.Int("concurrent", 1, "run the query this many times concurrently over one multiplexed link")
 	csvOut := fs.String("csv", "", "write the result as CSV to this file instead of stdout")
 	var credPaths stringList
@@ -158,30 +173,52 @@ func runQuery(args []string) error {
 		return fmt.Errorf("unknown payload mode %q", *payload)
 	}
 
-	conn, err := transport.DialRetry(*mediatorAddr, transport.RetryPolicy{Attempts: *retries})
-	if err != nil {
-		return err
+	// All protocol sessions run as virtual links over one physical
+	// connection per mediator address; the pool redials a dead link on
+	// the next attempt and its breaker fast-fails while the mediator
+	// stays down.
+	pool := &session.Pool{
+		Dial: func(addr string) (transport.Conn, error) {
+			return transport.DialRetry(addr, transport.RetryPolicy{Attempts: 2})
+		},
+		Governor: resilience.NewBreakerSet(resilience.BreakerConfig{}),
 	}
-	// All protocol sessions run as virtual links over this one physical
-	// connection; the mediator's session layer demultiplexes them.
-	mux := session.NewMux(conn, session.Config{})
-	defer mux.Close()
-	runOne := func() (*relation.Relation, error) {
-		st, err := mux.Open()
-		if err != nil {
-			return nil, err
-		}
-		defer st.Close()
-		if *timeout > 0 {
-			st.SetTimeout(*timeout)
-		}
-		return client.Query(st, *sql, proto, params)
+	defer pool.Close()
+	pol := resilience.Policy{MaxAttempts: *retries, Budget: *retryBudget}
+	// runOne executes one logical query under the retry orchestrator:
+	// every attempt is a fresh session carrying the query/attempt tags,
+	// so sources discard partial state of attempts we abandoned.
+	runOne := func() (*relation.Relation, resilience.Result, error) {
+		var res *relation.Relation
+		r, err := resilience.Do(pol, func(a resilience.Attempt) error {
+			st, err := pool.Open(*mediatorAddr)
+			if err != nil {
+				return err
+			}
+			defer st.Close()
+			if *timeout > 0 {
+				st.SetTimeout(*timeout)
+			}
+			p := params
+			p.QueryID, p.Attempt = a.QueryID, a.N
+			out, err := client.Query(st, *sql, proto, p)
+			if err != nil {
+				return err
+			}
+			res = out
+			return nil
+		})
+		return res, r, err
 	}
 	var res *relation.Relation
 	if *concurrent <= 1 {
-		res, err = runOne()
+		var r resilience.Result
+		res, r, err = runOne()
 		if err != nil {
 			return err
+		}
+		if r.Recovered {
+			fmt.Fprintf(os.Stderr, "medclient: query %s recovered on attempt %d\n", r.QueryID, r.Attempts)
 		}
 	} else {
 		res, err = runConcurrent(*concurrent, runOne)
@@ -201,12 +238,17 @@ func runQuery(args []string) error {
 	return nil
 }
 
-// runConcurrent runs n overlapping copies of the query over the shared
-// multiplexed link, reporting per-session outcomes; the first
-// successful result is returned (all sessions compute the same join).
-func runConcurrent(n int, runOne func() (*relation.Relation, error)) (*relation.Relation, error) {
+// runConcurrent runs n overlapping copies of the query, each under its
+// own retry orchestration, and aggregates per-query outcomes (attempt
+// counts, recoveries, failures) instead of dying on the first fault.
+// The run succeeds — returning the first result; all queries compute
+// the same join — only when every query does. A failed run's error
+// keeps ErrRetriesExhausted on the chain only when no query failed
+// terminally, so the exit code reports the severest outcome.
+func runConcurrent(n int, runOne func() (*relation.Relation, resilience.Result, error)) (*relation.Relation, error) {
 	type outcome struct {
 		res *relation.Relation
+		r   resilience.Result
 		err error
 		d   time.Duration
 	}
@@ -215,31 +257,44 @@ func runConcurrent(n int, runOne func() (*relation.Relation, error)) (*relation.
 	for i := 0; i < n; i++ {
 		go func() {
 			s := time.Now()
-			res, err := runOne()
-			outcomes <- outcome{res: res, err: err, d: time.Since(s)}
+			res, r, err := runOne()
+			outcomes <- outcome{res: res, r: r, err: err, d: time.Since(s)}
 		}()
 	}
 	var res *relation.Relation
-	var firstErr error
-	failures := 0
+	var terminalErr, exhaustedErr error
+	completed, recovered, attempts := 0, 0, 0
 	for i := 0; i < n; i++ {
 		o := <-outcomes
+		attempts += o.r.Attempts
 		if o.err != nil {
-			failures++
-			if firstErr == nil {
-				firstErr = o.err
+			if errors.Is(o.err, resilience.ErrRetriesExhausted) {
+				if exhaustedErr == nil {
+					exhaustedErr = o.err
+				}
+			} else if terminalErr == nil {
+				terminalErr = o.err
 			}
-			fmt.Fprintf(os.Stderr, "medclient: session failed after %v: %v\n", o.d.Round(time.Millisecond), o.err)
+			fmt.Fprintf(os.Stderr, "medclient: query %s failed after %d attempts in %v: %v\n",
+				o.r.QueryID, o.r.Attempts, o.d.Round(time.Millisecond), o.err)
 			continue
+		}
+		completed++
+		if o.r.Recovered {
+			recovered++
+			fmt.Fprintf(os.Stderr, "medclient: query %s recovered on attempt %d\n", o.r.QueryID, o.r.Attempts)
 		}
 		if res == nil {
 			res = o.res
 		}
 	}
-	fmt.Fprintf(os.Stderr, "medclient: %d/%d concurrent sessions completed in %v\n",
-		n-failures, n, time.Since(start).Round(time.Millisecond))
-	if res == nil {
-		return nil, firstErr
+	fmt.Fprintf(os.Stderr, "medclient: %d/%d queries completed (%d recovered, %d attempts total) in %v\n",
+		completed, n, recovered, attempts, time.Since(start).Round(time.Millisecond))
+	if terminalErr != nil {
+		return nil, terminalErr
+	}
+	if exhaustedErr != nil {
+		return nil, exhaustedErr
 	}
 	return res, nil
 }

@@ -16,14 +16,19 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"github.com/secmediation/secmediation/internal/mediation"
 	"github.com/secmediation/secmediation/internal/relation"
+	"github.com/secmediation/secmediation/internal/resilience"
 	"github.com/secmediation/secmediation/internal/session"
 	"github.com/secmediation/secmediation/internal/telemetry"
 	"github.com/secmediation/secmediation/internal/transport"
@@ -53,6 +58,7 @@ func main() {
 	retries := flag.Int("retries", 5, "dial attempts per datasource link (backoff between attempts)")
 	maxSessions := flag.Int("max-sessions", 64, "max concurrent protocol sessions (0 = unlimited)")
 	maxWaiting := flag.Int("max-waiting", 64, "sessions allowed to queue for a slot before overload rejects")
+	drain := flag.Duration("drain", 20*time.Second, "on SIGTERM/SIGINT, let in-flight sessions finish for up to this long before forcing links closed")
 	flag.Parse()
 
 	med, err := buildMediator(routes, hints)
@@ -67,11 +73,17 @@ func main() {
 	// One persistent multiplexed link per datasource: every session dials
 	// through the pool, so overlapping queries share physical links
 	// instead of paying a TCP dial each.
+	// A per-peer circuit breaker governs the pool's dials: while one
+	// datasource stays down, sessions needing it fast-fail with
+	// resilience.ErrCircuitOpen instead of burning a dial timeout each,
+	// and sessions on healthy sources are unaffected.
 	pol := transport.RetryPolicy{Attempts: *retries, Telemetry: med.Telemetry}
 	pool := &session.Pool{
 		Dial:      func(addr string) (transport.Conn, error) { return transport.DialRetry(addr, pol) },
+		Governor:  resilience.NewBreakerSet(resilience.BreakerConfig{Telemetry: med.Telemetry}),
 		Telemetry: med.Telemetry,
 	}
+	defer pool.Close()
 	dialSource = func(addr string) (transport.Conn, error) {
 		st, err := pool.Open(addr)
 		if err != nil {
@@ -92,13 +104,29 @@ func main() {
 			conn.SetTimeout(*timeout)
 			return med.HandleSession(conn)
 		},
-		Gate:      session.NewGate(*maxSessions, *maxWaiting, med.Telemetry),
-		Telemetry: med.Telemetry,
-		Logf:      log.Printf,
+		Gate:           session.NewGate(*maxSessions, *maxWaiting, med.Telemetry),
+		Telemetry:      med.Telemetry,
+		Logf:           log.Printf,
+		RetryAfterHint: 500 * time.Millisecond,
 	}
+	// SIGTERM/SIGINT starts a graceful drain: close the listener (Serve
+	// returns), then let in-flight sessions finish before closing links.
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		s := <-sigs
+		log.Printf("mediator: received %v, draining (deadline %v)", s, *drain)
+		l.Close()
+	}()
 	if err := srv.Serve(session.AcceptTimeout(l, *timeout)); err != nil {
 		log.Fatalf("mediator: serve: %v", err)
 	}
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Fatalf("mediator: drain deadline exceeded, %d session(s) forced closed: %v", srv.InFlight(), err)
+	}
+	log.Printf("mediator: drained cleanly")
 }
 
 func buildMediator(routes, hints stringList) (*mediation.Mediator, error) {

@@ -32,6 +32,7 @@ import (
 	"github.com/secmediation/secmediation/internal/crypto/groups"
 	"github.com/secmediation/secmediation/internal/das"
 	"github.com/secmediation/secmediation/internal/leakage"
+	"github.com/secmediation/secmediation/internal/resilience"
 	"github.com/secmediation/secmediation/internal/telemetry"
 	"github.com/secmediation/secmediation/internal/transport"
 )
@@ -141,6 +142,17 @@ type Params struct {
 	// A timed-out operation aborts the protocol with a *ProtocolError
 	// wrapping transport.ErrTimeout.
 	Timeout time.Duration
+	// QueryID is the client-generated identifier of the logical query,
+	// stable across retry attempts (resilience.Do supplies it). It
+	// travels in the request and partial queries so sources can
+	// recognize — and discard partial state from — attempts the client
+	// has abandoned. Empty disables attempt tracking (in-process runs
+	// need none).
+	QueryID string
+	// Attempt numbers this try of the query from 1 (resilience.Attempt.N).
+	// A source that has seen a later attempt of the same QueryID denies
+	// earlier ones as stale.
+	Attempt int
 	// Telemetry optionally records phase spans and metrics for the query.
 	// It is a per-query override of the Client's Telemetry field; the
 	// registry is deliberately gob-inert, so it never crosses a transport
@@ -329,18 +341,24 @@ func annotateSession(root *telemetry.Span, conn transport.Conn) {
 
 // errorBody is the payload of msgError: the originating party and phase
 // travel with the message so every survivor reports the same attribution.
+// Transient carries the origin's retry classification — error chains
+// flatten to strings at party boundaries, so without this flag a
+// client could not tell a relayed timeout (worth a fresh attempt) from
+// a relayed protocol violation (terminal).
 type errorBody struct {
-	Party   string
-	Phase   string
-	Message string
+	Party     string
+	Phase     string
+	Message   string
+	Transient bool
 }
 
 // sendError best-effort reports a failure to a peer so it can abort
 // instead of hanging. The from party names the sender; when err already
 // carries a *ProtocolError attribution, the origin's party/phase are
-// forwarded unchanged.
+// forwarded unchanged. The origin's retry classification rides along as
+// the Transient flag.
 func sendError(conn transport.Conn, from string, err error) {
-	body := errorBody{Party: from, Message: err.Error()}
+	body := errorBody{Party: from, Message: err.Error(), Transient: resilience.Retryable(err)}
 	var pe *ProtocolError
 	if errors.As(err, &pe) {
 		body.Party, body.Phase, body.Message = pe.Party, pe.Phase, pe.Err.Error()
@@ -381,7 +399,11 @@ func recvExpect(conn transport.Conn, peer, typ string) (transport.Message, error
 	}
 	if m.Type == msgError {
 		var body errorBody
-		if err := transport.Decode(m.Body, &body); err != nil {
+		payload, perr := transport.Payload(m)
+		if perr == nil {
+			perr = transport.Decode(payload, &body)
+		}
+		if perr != nil {
 			return transport.Message{}, &ProtocolError{
 				Party: peer,
 				Err:   fmt.Errorf("peer error (undecodable)"),
@@ -391,10 +413,16 @@ func recvExpect(conn transport.Conn, peer, typ string) (transport.Message, error
 		if party == "" {
 			party = peer
 		}
+		cause := error(fmt.Errorf("peer error: %s", body.Message))
+		if body.Transient {
+			// The origin classified its failure retryable; keep that
+			// visible through the reconstructed chain.
+			cause = resilience.MarkTransient(cause)
+		}
 		return transport.Message{}, &ProtocolError{
 			Party: party,
 			Phase: body.Phase,
-			Err:   fmt.Errorf("peer error: %s", body.Message),
+			Err:   cause,
 		}
 	}
 	if m.Type != typ {
@@ -403,6 +431,18 @@ func recvExpect(conn transport.Conn, peer, typ string) (transport.Message, error
 			Err:   fmt.Errorf("expected %q, got %q", typ, m.Type),
 		}
 	}
+	// Verify the body digest before any payload reaches a decoder: a
+	// corrupted-but-decodable payload would otherwise silently change
+	// the protocol's inputs (and with them the join). Integrity
+	// failures are link faults — typed and retryable.
+	payload, err := transport.Payload(m)
+	if err != nil {
+		return transport.Message{}, &ProtocolError{
+			Party: peer,
+			Err:   fmt.Errorf("receiving %q: %w", typ, err),
+		}
+	}
+	m.Body = payload
 	return m, nil
 }
 

@@ -3,6 +3,7 @@ package mediation
 import (
 	"crypto/rsa"
 	"fmt"
+	"sync"
 	"time"
 
 	"github.com/secmediation/secmediation/internal/algebra"
@@ -35,6 +36,56 @@ type Source struct {
 	// Now is an injectable clock for credential validation (defaults to
 	// time.Now).
 	Now func() time.Time
+
+	// attempts tracks the highest attempt number served per query ID, so
+	// a retried query's abandoned earlier attempt — still limping along
+	// on a half-dead link, or replayed by a duplicating wire — is denied
+	// instead of racing the live one. Bounded FIFO (attemptCap entries).
+	attemptMu    sync.Mutex
+	attempts     map[string]int
+	attemptOrder []string
+}
+
+// attemptCap bounds the stale-attempt registry; old query IDs are
+// evicted FIFO. At one entry per in-flight-or-recent logical query this
+// comfortably covers the retry window without growing unbounded over a
+// long-lived process.
+const attemptCap = 1024
+
+// admitAttempt registers one (queryID, attempt) arrival and reports
+// whether it is current. An empty queryID (client not using the retry
+// orchestrator) is always admitted; a repeat of the same attempt is
+// admitted (the registry tracks abandonment, not duplication); an
+// attempt lower than one already seen is stale — the client has moved
+// on — and is denied.
+func (s *Source) admitAttempt(queryID string, attempt int) bool {
+	if queryID == "" {
+		return true
+	}
+	s.attemptMu.Lock()
+	defer s.attemptMu.Unlock()
+	last, seen := s.attempts[queryID]
+	if seen && attempt < last {
+		if s.Telemetry.Enabled() {
+			s.Telemetry.Counter("stale_attempts_discarded").Add(1)
+		}
+		return false
+	}
+	if !seen {
+		if s.attempts == nil {
+			s.attempts = make(map[string]int)
+		}
+		if len(s.attemptOrder) >= attemptCap {
+			evict := s.attemptOrder[0]
+			s.attemptOrder = s.attemptOrder[1:]
+			delete(s.attempts, evict)
+		}
+		s.attemptOrder = append(s.attemptOrder, queryID)
+	}
+	if attempt > last {
+		s.attempts[queryID] = attempt
+	}
+	return true
 }
 
 func (s *Source) party() string { return leakage.PartySource(s.Name) }
@@ -60,6 +111,13 @@ func (s *Source) Serve(conn transport.Conn) error {
 	// dead mediator cannot park this session forever.
 	if pq.Params.Timeout > 0 {
 		conn.SetTimeout(pq.Params.Timeout)
+	}
+	if !s.admitAttempt(pq.Params.QueryID, pq.Params.Attempt) {
+		// A later attempt of this query already reached us: this one was
+		// abandoned by the client. Denying (a protocol outcome, like an
+		// access denial) discards the stale partial state cleanly.
+		reason := fmt.Sprintf("stale attempt %d of query %s", pq.Params.Attempt, pq.Params.QueryID)
+		return sendMsg(conn, "mediator", msgPartialAck, PartialAck{Granted: false, Reason: reason})
 	}
 	rel, clientKey, denyReason, err := s.executePartial(&pq)
 	if err != nil {

@@ -1,0 +1,92 @@
+package resilience
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"syscall"
+	"testing"
+	"time"
+
+	"github.com/secmediation/secmediation/internal/session"
+	"github.com/secmediation/secmediation/internal/transport"
+)
+
+type timeoutNetError struct{}
+
+func (timeoutNetError) Error() string   { return "i/o timeout" }
+func (timeoutNetError) Timeout() bool   { return true }
+func (timeoutNetError) Temporary() bool { return true }
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want Class
+	}{
+		{"nil", nil, ClassTerminal},
+		{"timeout", fmt.Errorf("recv: %w", transport.ErrTimeout), ClassRetryable},
+		{"overloaded", fmt.Errorf("open: %w", session.ErrOverloaded), ClassRetryable},
+		{"draining", fmt.Errorf("open: %w", session.ErrDraining), ClassRetryable},
+		{"mux closed", session.ErrMuxClosed, ClassRetryable},
+		{"circuit open", fmt.Errorf("dial: %w", ErrCircuitOpen), ClassRetryable},
+		{"eof", io.EOF, ClassRetryable},
+		{"unexpected eof", io.ErrUnexpectedEOF, ClassRetryable},
+		{"conn refused", fmt.Errorf("dial: %w", syscall.ECONNREFUSED), ClassRetryable},
+		{"conn reset", syscall.ECONNRESET, ClassRetryable},
+		{"net closed", net.ErrClosed, ClassRetryable},
+		{"net error", &net.OpError{Op: "read", Err: timeoutNetError{}}, ClassRetryable},
+		{"marked transient", MarkTransient(errors.New("peer says: timeout")), ClassRetryable},
+		{"wrapped transient", fmt.Errorf("query: %w", MarkTransient(errors.New("x"))), ClassRetryable},
+		{"too large", fmt.Errorf("recv: %w", transport.ErrTooLarge), ClassTerminal},
+		{"protocol violation", errors.New("expected message ack, got junk"), ClassTerminal},
+		{"policy denial", errors.New("query denied: insufficient credentials"), ClassTerminal},
+	}
+	for _, tc := range cases {
+		if got := Classify(tc.err); got != tc.want {
+			t.Errorf("Classify(%s) = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestMarkTransientPreservesChain(t *testing.T) {
+	base := errors.New("boom")
+	err := MarkTransient(fmt.Errorf("wrap: %w", base))
+	if !errors.Is(err, base) {
+		t.Fatal("MarkTransient broke the error chain")
+	}
+	if err.Error() != "wrap: boom" {
+		t.Fatalf("Error() = %q, want pass-through", err.Error())
+	}
+	if MarkTransient(nil) != nil {
+		t.Fatal("MarkTransient(nil) != nil")
+	}
+}
+
+type hinted struct{ d time.Duration }
+
+func (h hinted) Error() string             { return "overloaded" }
+func (h hinted) RetryAfter() time.Duration { return h.d }
+
+func TestRetryAfter(t *testing.T) {
+	if d, ok := RetryAfter(fmt.Errorf("open: %w", hinted{250 * time.Millisecond})); !ok || d != 250*time.Millisecond {
+		t.Fatalf("RetryAfter = %v, %v; want 250ms, true", d, ok)
+	}
+	if _, ok := RetryAfter(errors.New("plain")); ok {
+		t.Fatal("RetryAfter on a plain error reported a hint")
+	}
+	if _, ok := RetryAfter(hinted{0}); ok {
+		t.Fatal("RetryAfter reported a non-positive hint")
+	}
+}
+
+func TestNewQueryID(t *testing.T) {
+	a, b := NewQueryID(), NewQueryID()
+	if len(a) != 16 || len(b) != 16 {
+		t.Fatalf("query ID lengths = %d, %d; want 16", len(a), len(b))
+	}
+	if a == b {
+		t.Fatal("two query IDs collided")
+	}
+}

@@ -1,8 +1,10 @@
 package session
 
 import (
+	"fmt"
 	"strconv"
 	"strings"
+	"time"
 
 	"github.com/secmediation/secmediation/internal/transport"
 )
@@ -27,6 +29,56 @@ const (
 	opClose  byte = 'c' // orderly close of a session
 	opReject byte = 'r' // refuse a session the peer opened
 )
+
+// Reject-frame reasons. An overload reject may append a retry-after
+// hint in whole milliseconds ("overloaded:250"); a draining reject
+// means the server is shutting down and the session should be retried
+// elsewhere (or later), not treated as a failure.
+const (
+	rejectOverloaded = "overloaded"
+	rejectDraining   = "draining"
+)
+
+// rejectReason renders the reject-frame reason field, appending the
+// retry-after hint (rounded up to whole milliseconds) when positive.
+func rejectReason(base string, hint time.Duration) string {
+	if hint <= 0 {
+		return base
+	}
+	ms := int64((hint + time.Millisecond - 1) / time.Millisecond)
+	return base + ":" + strconv.FormatInt(ms, 10)
+}
+
+// parseReject maps a reject-frame reason back to the typed error the
+// opener's operations surface. Unknown reasons (newer peers, mangled
+// frames) degrade to the overload shape — still typed, still
+// retryable.
+func parseReject(sid uint64, reason string) error {
+	base, hintStr, _ := strings.Cut(reason, ":")
+	if base == rejectDraining {
+		return fmt.Errorf("session %d refused by peer: %w", sid, ErrDraining)
+	}
+	err := fmt.Errorf("session %d refused by peer: %w", sid, ErrOverloaded)
+	if ms, perr := strconv.ParseInt(hintStr, 10, 64); perr == nil && ms > 0 {
+		return &retryHintError{err: err, hint: time.Duration(ms) * time.Millisecond}
+	}
+	return err
+}
+
+// retryHintError decorates a reject error with the server-supplied
+// retry-after hint. It is matched structurally (errors.As on an
+// interface with RetryAfter) by internal/resilience, which keeps this
+// package free of a dependency on the orchestrator.
+type retryHintError struct {
+	err  error
+	hint time.Duration
+}
+
+func (e *retryHintError) Error() string { return e.err.Error() }
+func (e *retryHintError) Unwrap() error { return e.err }
+
+// RetryAfter returns the peer's suggested backoff before retrying.
+func (e *retryHintError) RetryAfter() time.Duration { return e.hint }
 
 // IsMuxFrame reports whether a message type tag carries the mux frame
 // header — the sniff a Server uses to serve plain single-session links

@@ -208,7 +208,7 @@ func (m *Mux) dispatch(frame transport.Message) {
 		delete(m.streams, sid)
 		m.mu.Unlock()
 		if st != nil {
-			st.fail(fmt.Errorf("session %d refused by peer: %w", sid, ErrOverloaded))
+			st.fail(parseReject(sid, rest))
 			m.count("mux_sessions_rejected_by_peer")
 			m.gaugeActive()
 		}
@@ -231,7 +231,7 @@ func (m *Mux) handleOpen(sid uint64) {
 	}
 	if m.cfg.MaxSessions > 0 && len(m.streams) >= m.cfg.MaxSessions {
 		m.mu.Unlock()
-		m.reject(sid)
+		m.reject(sid, rejectOverloaded)
 		return
 	}
 	st := m.newStream(sid)
@@ -244,14 +244,14 @@ func (m *Mux) handleOpen(sid uint64) {
 	default:
 		// Accept backlog full: nobody is claiming sessions fast enough.
 		m.removeStream(sid)
-		m.reject(sid)
+		m.reject(sid, rejectOverloaded)
 	}
 }
 
-// reject refuses a peer-opened session with the overload reason.
-func (m *Mux) reject(sid uint64) {
+// reject refuses a peer-opened session with the given reason.
+func (m *Mux) reject(sid uint64, reason string) {
 	m.count("mux_sessions_rejected")
-	if err := m.send(controlFrame(opReject, sid, "overloaded")); err != nil {
+	if err := m.send(controlFrame(opReject, sid, reason)); err != nil {
 		// The link just died; fail() already tore everything down and
 		// the opener learns from the link failure instead.
 		return
@@ -488,11 +488,31 @@ func (s *Stream) Close() error {
 // session is retired locally. Only meaningful on streams obtained from
 // Accept, before any payload is sent.
 func (s *Stream) Reject() {
-	s.fail(fmt.Errorf("session %d rejected: %w", s.id, ErrOverloaded))
+	s.rejectWith(ErrOverloaded, rejectOverloaded)
+}
+
+// RejectOverloaded refuses a server-side session for overload, carrying
+// a retry-after hint (when positive) that the opener's retry
+// orchestrator honors before re-opening.
+func (s *Stream) RejectOverloaded(hint time.Duration) {
+	s.rejectWith(ErrOverloaded, rejectReason(rejectOverloaded, hint))
+}
+
+// RejectDraining refuses a server-side session because the server is
+// shutting down: the opener sees ErrDraining, a retryable-elsewhere
+// condition, instead of a protocol failure.
+func (s *Stream) RejectDraining() {
+	s.rejectWith(ErrDraining, rejectDraining)
+}
+
+// rejectWith retires the session locally with the typed cause and sends
+// the reject frame carrying reason to the opener.
+func (s *Stream) rejectWith(cause error, reason string) {
+	s.fail(fmt.Errorf("session %d rejected: %w", s.id, cause))
 	s.closeOnce.Do(func() {
 		close(s.closed)
 		s.mux.removeStream(s.id)
-		s.mux.reject(s.id)
+		s.mux.reject(s.id, reason)
 	})
 }
 

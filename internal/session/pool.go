@@ -8,12 +8,35 @@ import (
 	"github.com/secmediation/secmediation/internal/transport"
 )
 
+// DialGovernor gates Pool dials per address. It exists so the pool's
+// redial cadence can be governed by a per-peer circuit breaker
+// (resilience.BreakerSet satisfies it) without this package depending
+// on the orchestrator: Allow runs before every physical dial — a typed
+// refusal (resilience.ErrCircuitOpen) fails the Open fast instead of
+// burning a dial timeout on a peer known to be down — and Record feeds
+// the dial outcome back so the breaker's window tracks reality.
+type DialGovernor interface {
+	// Allow reports whether a dial to addr may proceed; a non-nil error
+	// fails the Open with that error (fast-fail).
+	Allow(addr string) error
+	// Record feeds the outcome of a dial to addr back to the governor
+	// (err nil on success).
+	Record(addr string, err error)
+}
+
 // Pool keeps one persistent multiplexed link per dialed peer. Open
 // returns a fresh session over the cached link, dialing only on first
 // use; when a cached link has died, Open drops it and redials once
 // transparently. This is what turns the mediator's dial-per-query relay
 // into a long-lived topology: a thousand queries against the same two
 // sources cost one TCP dial each, not a thousand.
+//
+// A failed dial leaves the address entry undialed — the next Open tries
+// again — so a peer that was down during one query does not poison the
+// route forever. The redial *cadence* is the Governor's job: with a
+// breaker installed, repeated dial failures trip the peer open and
+// subsequent Opens fast-fail with ErrCircuitOpen until the probe timer
+// re-admits one.
 //
 // All methods are safe for concurrent use.
 type Pool struct {
@@ -22,6 +45,9 @@ type Pool struct {
 	// Mux configures the per-link muxes (client role; Server is forced
 	// off). A nil Telemetry inherits the Pool's.
 	Mux Config
+	// Governor optionally gates dials per address — typically a
+	// resilience.BreakerSet. Nil allows every dial.
+	Governor DialGovernor
 	// Telemetry optionally records pool activity (links dialed,
 	// redials). Nil records nothing.
 	Telemetry *telemetry.Registry
@@ -31,26 +57,28 @@ type Pool struct {
 }
 
 // poolLink is one per-address entry: concurrent Opens share a single
-// dial through the once.
+// dial through the entry mutex. A nil mux means the entry is undialed
+// (fresh, or its last dial failed).
 type poolLink struct {
-	once sync.Once
-	mux  *Mux
-	err  error
+	mu  sync.Mutex
+	mux *Mux
 }
 
 // Open returns a new session to the peer at addr, dialing the link if
 // this is the first use and redialing once if the cached link is dead.
+// A dial refused by the Governor or failed outright surfaces
+// immediately (the orchestrator owns the retry cadence); the entry
+// stays undialed so a later Open tries again.
 func (p *Pool) Open(addr string) (*Stream, error) {
 	var lastErr error
 	for attempt := 0; attempt < 2; attempt++ {
 		entry := p.entry(addr)
-		entry.once.Do(func() { entry.dial(p, addr, attempt > 0) })
-		if entry.err != nil {
-			p.drop(addr, entry)
-			lastErr = entry.err
-			continue
+		mux, err := p.ensure(entry, addr, attempt > 0)
+		if err != nil {
+			lastErr = err
+			break
 		}
-		st, err := entry.mux.Open()
+		st, err := mux.Open()
 		if err == nil {
 			return st, nil
 		}
@@ -78,30 +106,45 @@ func (p *Pool) entry(addr string) *poolLink {
 	return e
 }
 
-// dial runs under the entry's once: every concurrent Open for the same
-// address shares one physical dial.
-func (e *poolLink) dial(p *Pool, addr string, redial bool) {
+// ensure returns the entry's live mux, dialing under the entry mutex so
+// every concurrent Open for the same address shares one physical dial.
+// Dial outcomes are reported to the Governor; a failure leaves the
+// entry undialed for the next Open.
+func (p *Pool) ensure(entry *poolLink, addr string, redial bool) (*Mux, error) {
+	entry.mu.Lock()
+	defer entry.mu.Unlock()
+	if entry.mux != nil {
+		return entry.mux, nil
+	}
+	if p.Governor != nil {
+		if err := p.Governor.Allow(addr); err != nil {
+			return nil, err
+		}
+	}
 	dial := p.Dial
 	if dial == nil {
 		dial = transport.Dial
 	}
 	conn, err := dial(addr)
+	if p.Governor != nil {
+		p.Governor.Record(addr, err)
+	}
 	if err != nil {
-		e.err = err
-		return
+		return nil, err
 	}
 	cfg := p.Mux
 	cfg.Server = false
 	if cfg.Telemetry == nil {
 		cfg.Telemetry = p.Telemetry
 	}
-	e.mux = NewMux(conn, cfg)
+	entry.mux = NewMux(conn, cfg)
 	if p.Telemetry.Enabled() {
 		p.Telemetry.Counter("pool_links_dialed").Add(1)
 		if redial {
 			p.Telemetry.Counter("pool_links_redialed").Add(1)
 		}
 	}
+	return entry.mux, nil
 }
 
 // drop retires a link entry: the table slot is freed for a fresh dial
@@ -112,8 +155,12 @@ func (p *Pool) drop(addr string, entry *poolLink) {
 		delete(p.links, addr)
 	}
 	p.mu.Unlock()
-	if entry.mux != nil {
-		if err := entry.mux.Close(); err != nil {
+	entry.mu.Lock()
+	mux := entry.mux
+	entry.mux = nil
+	entry.mu.Unlock()
+	if mux != nil {
+		if err := mux.Close(); err != nil {
 			// The link is being discarded; a close error on an
 			// already-dead socket carries no information.
 			return
@@ -130,10 +177,14 @@ func (p *Pool) Close() error {
 	p.mu.Unlock()
 	var first error
 	for _, e := range links {
-		if e.mux == nil {
+		e.mu.Lock()
+		mux := e.mux
+		e.mux = nil
+		e.mu.Unlock()
+		if mux == nil {
 			continue
 		}
-		if err := e.mux.Close(); err != nil && first == nil {
+		if err := mux.Close(); err != nil && first == nil {
 			first = err
 		}
 	}

@@ -158,8 +158,10 @@ func TestPoolRedialsDeadLink(t *testing.T) {
 	}
 }
 
-// TestPoolDialFailure checks that a failed dial is not cached: the
-// error surfaces and the next Open tries again.
+// TestPoolDialFailure is the dial-fail → later-success regression: a
+// failed dial surfaces immediately (the retry orchestrator owns the
+// cadence) but must not poison the address entry — the next Open dials
+// fresh and succeeds.
 func TestPoolDialFailure(t *testing.T) {
 	net := newFakeNet()
 	net.fail = true
@@ -171,13 +173,74 @@ func TestPoolDialFailure(t *testing.T) {
 		net.close()
 	}()
 
-	// Both redial attempts of the first Open consume the single
-	// injected failure and then succeed.
+	if err := roundTrip(p, "src1:7000"); err == nil {
+		t.Fatal("open during dial failure succeeded, want error")
+	}
+	// The peer is back; the same address must work without any reset.
 	if err := roundTrip(p, "src1:7000"); err != nil {
 		t.Fatalf("open after transient dial failure: %v", err)
 	}
 	if got := net.dialCount("src1:7000"); got != 1 {
 		t.Fatalf("successful dials = %d, want 1", got)
+	}
+}
+
+// governorFunc adapts funcs to DialGovernor for tests.
+type governorFunc struct {
+	allow  func(addr string) error
+	record func(addr string, err error)
+}
+
+func (g governorFunc) Allow(addr string) error       { return g.allow(addr) }
+func (g governorFunc) Record(addr string, err error) { g.record(addr, err) }
+
+// TestPoolGovernor checks the breaker seam: Allow gates the dial (a
+// refusal surfaces typed and undialed), Record sees every outcome.
+func TestPoolGovernor(t *testing.T) {
+	net := newFakeNet()
+	refuse := errors.New("circuit open")
+	var mu sync.Mutex
+	var recorded []error
+	blocked := false
+	gov := governorFunc{
+		allow: func(addr string) error {
+			mu.Lock()
+			defer mu.Unlock()
+			if blocked {
+				return refuse
+			}
+			return nil
+		},
+		record: func(addr string, err error) {
+			mu.Lock()
+			recorded = append(recorded, err)
+			mu.Unlock()
+		},
+	}
+	p := &Pool{Dial: net.dial, Governor: gov}
+	defer func() {
+		if err := p.Close(); err != nil {
+			t.Logf("pool close: %v", err)
+		}
+		net.close()
+	}()
+
+	mu.Lock()
+	blocked = true
+	mu.Unlock()
+	if _, err := p.Open("src1:7000"); !errors.Is(err, refuse) {
+		t.Fatalf("open under refusing governor: %v, want %v", err, refuse)
+	}
+	mu.Lock()
+	blocked = false
+	mu.Unlock()
+	if err := roundTrip(p, "src1:7000"); err != nil {
+		t.Fatalf("open after governor re-admits: %v", err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(recorded) != 1 || recorded[0] != nil {
+		t.Fatalf("recorded outcomes = %v, want one success", recorded)
 	}
 }
 

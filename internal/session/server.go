@@ -1,6 +1,7 @@
 package session
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -79,11 +80,97 @@ type Server struct {
 	// Logf, when set, receives serve-loop diagnostics (accept retries,
 	// session failures).
 	Logf func(format string, args ...any)
+	// RetryAfterHint, when positive, rides on overload rejects as a
+	// server-supplied backoff hint: the opener's retry orchestrator
+	// (internal/resilience) waits at least this long before re-opening,
+	// so a saturated server shapes its own retry load.
+	RetryAfterHint time.Duration
 
 	// sleep is the backoff clock; tests shrink it.
 	sleep func(time.Duration)
 	// links tracks live physical links for the links_active gauge.
 	links atomic.Int64
+	// draining flips once on Shutdown: new sessions are rejected with
+	// ErrDraining while in-flight ones finish.
+	draining atomic.Bool
+	// sessions tracks in-flight handler invocations for the drain wait.
+	sessions atomic.Int64
+
+	connMu sync.Mutex
+	conns  map[io.Closer]struct{} // live physical links, force-closed on drain deadline
+}
+
+// Draining reports whether Shutdown has begun.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// InFlight returns the number of sessions currently inside the Handler.
+func (s *Server) InFlight() int { return int(s.sessions.Load()) }
+
+// Shutdown drains the server gracefully: it marks the server draining —
+// new sessions (and new links) are refused with a typed ErrDraining
+// reject that the opener's retry orchestrator treats as
+// retryable-elsewhere — waits for in-flight sessions to finish, then
+// closes every remaining physical link so idle persistent peers
+// re-dial elsewhere. Callers close their listener before calling
+// Shutdown (Serve then returns nil); ctx bounds the drain — when it
+// expires, surviving links are closed anyway, aborting whatever still
+// rides them, and ctx.Err() is returned.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	if s.Telemetry.Enabled() {
+		s.Telemetry.Gauge("server_draining").Set(1)
+	}
+	const poll = 5 * time.Millisecond
+	for s.sessions.Load() > 0 {
+		select {
+		case <-ctx.Done():
+			s.closeLinks()
+			return ctx.Err()
+		case <-time.After(poll):
+		}
+	}
+	s.closeLinks()
+	return nil
+}
+
+// closeLinks force-closes every tracked physical link (multiplexed or
+// plain). Sessions still riding one fail with the link error.
+func (s *Server) closeLinks() {
+	s.connMu.Lock()
+	conns := make([]io.Closer, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.conns = nil
+	s.connMu.Unlock()
+	for _, c := range conns {
+		if err := c.Close(); err != nil {
+			s.logf("session: drain close link: %v", err)
+		}
+	}
+}
+
+// track registers a live physical link for the drain force-close; it
+// reports false when the server is already draining with links swept
+// (the caller must close the link itself).
+func (s *Server) track(c io.Closer) bool {
+	s.connMu.Lock()
+	defer s.connMu.Unlock()
+	if s.draining.Load() && s.conns == nil {
+		return false
+	}
+	if s.conns == nil {
+		s.conns = make(map[io.Closer]struct{})
+	}
+	s.conns[c] = struct{}{}
+	return true
+}
+
+// untrack removes a link that closed on its own.
+func (s *Server) untrack(c io.Closer) {
+	s.connMu.Lock()
+	delete(s.conns, c)
+	s.connMu.Unlock()
 }
 
 // Serve accepts links until the listener fails permanently. It returns
@@ -143,7 +230,15 @@ func (s *Server) serveLink(conn transport.Conn) {
 		cfg.Telemetry = s.Telemetry
 	}
 	mux := newMux(conn, cfg, []transport.Message{first})
+	if !s.track(mux) {
+		// Drained while this link was being set up; refuse it whole.
+		if cerr := mux.Close(); cerr != nil {
+			s.logf("session: close drained link: %v", cerr)
+		}
+		return
+	}
 	defer func() {
+		s.untrack(mux)
 		if cerr := mux.Close(); cerr != nil {
 			s.logf("session: close link: %v", cerr)
 		}
@@ -164,6 +259,19 @@ func (s *Server) serveLink(conn transport.Conn) {
 // gate and handler. Under overload there is no session to reject
 // individually, so the link is simply closed.
 func (s *Server) servePlain(conn transport.Conn, first transport.Message) {
+	// Counted before the draining check so Shutdown's wait observes a
+	// session that raced past the flag flip.
+	s.sessions.Add(1)
+	defer s.sessions.Add(-1)
+	if s.draining.Load() {
+		// A plain link has no reject frame to carry ErrDraining; the
+		// close is the signal.
+		s.count("sessions_rejected_draining")
+		if cerr := conn.Close(); cerr != nil {
+			s.logf("session: close drained link: %v", cerr)
+		}
+		return
+	}
 	if err := s.Gate.Acquire(); err != nil {
 		s.logf("session: plain link rejected: %v", err)
 		if cerr := conn.Close(); cerr != nil {
@@ -176,11 +284,19 @@ func (s *Server) servePlain(conn transport.Conn, first transport.Message) {
 }
 
 // runSession admits one multiplexed session and hands it to the
-// handler. A gate reject travels back to the opener as a typed reject
-// frame (ErrOverloaded on their side) while sibling sessions proceed.
+// handler. A drain reject travels back as a typed ErrDraining frame, a
+// gate reject as ErrOverloaded (with the server's retry-after hint)
+// while sibling sessions proceed.
 func (s *Server) runSession(st *Stream) {
+	s.sessions.Add(1)
+	defer s.sessions.Add(-1)
+	if s.draining.Load() {
+		s.count("sessions_rejected_draining")
+		st.RejectDraining()
+		return
+	}
 	if err := s.Gate.Acquire(); err != nil {
-		st.Reject()
+		st.RejectOverloaded(s.RetryAfterHint)
 		return
 	}
 	defer s.Gate.Release()
@@ -200,6 +316,11 @@ func (s *Server) handle(conn transport.Conn) {
 		s.logf("session: handler: %v", err)
 	} else {
 		s.count("sessions_completed")
+	}
+	if s.draining.Load() {
+		// An in-flight session that ran to completion under drain — the
+		// graceful-shutdown contract working as intended.
+		s.count("sessions_drained")
 	}
 	if s.Telemetry.Enabled() {
 		st := conn.Stats()

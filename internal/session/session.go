@@ -50,8 +50,16 @@ import (
 // ErrOverloaded reports that the peer (or the local gate) refused a new
 // session because its concurrent-session capacity and wait queue are
 // exhausted. Match it with errors.Is; clients should back off and retry
-// rather than treat it as a protocol failure.
+// rather than treat it as a protocol failure. The reject may carry a
+// server-supplied retry-after hint, surfaced through a RetryAfter()
+// method on the wrapping error (see internal/resilience.RetryAfter).
 var ErrOverloaded = errors.New("session: overloaded: too many concurrent sessions")
+
+// ErrDraining reports that the peer refused a new session because it is
+// shutting down gracefully (Server.Shutdown): in-flight sessions are
+// finishing, new ones must go elsewhere. Match it with errors.Is; the
+// retry orchestrator (internal/resilience) classifies it retryable.
+var ErrDraining = errors.New("session: draining: server is shutting down")
 
 // ErrMuxClosed reports an operation on a mux that was closed locally.
 var ErrMuxClosed = errors.New("session: mux closed")

@@ -7,9 +7,11 @@ package transport
 
 import (
 	"bytes"
+	"encoding/binary"
 	"encoding/gob"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"sync"
 	"sync/atomic"
@@ -26,6 +28,14 @@ var ErrTimeout = errors.New("transport: i/o timeout")
 // subsequent Recv calls keep failing, because the stream position inside
 // the oversized frame is lost.
 var ErrTooLarge = errors.New("transport: message exceeds size limit")
+
+// ErrIntegrity reports a message body whose digest no longer matches its
+// payload: the message was corrupted or truncated in flight. Without the
+// check, a flipped byte that keeps the payload decodable silently changes
+// the protocol's inputs — a DAS server query with a flipped partition
+// index returns a wrong (smaller) join instead of an error. The error is
+// a link fault, so retry orchestration treats it as transient.
+var ErrIntegrity = errors.New("transport: integrity: message digest mismatch")
 
 // Message is the unit of exchange between parties: a protocol-defined type
 // tag and a gob-encoded body.
@@ -63,14 +73,51 @@ func Decode(b []byte, v any) error {
 	return nil
 }
 
-// NewMessage builds a message with an encoded body.
+// sumLen is the length of the integrity digest prefixed to every
+// message body by NewMessage and verified by Payload.
+const sumLen = 8
+
+// seal prefixes a payload with its FNV-1a digest. The digest detects
+// accidental in-flight corruption and truncation (so protocols fail
+// typed instead of computing on mangled inputs); it is NOT a MAC —
+// tamper resistance comes from the hybrid-encryption layer above, per
+// the paper's trust model.
+func seal(payload []byte) []byte {
+	h := fnv.New64a()
+	if _, err := h.Write(payload); err != nil {
+		panic("transport: fnv write: " + err.Error())
+	}
+	out := make([]byte, sumLen+len(payload))
+	binary.BigEndian.PutUint64(out, h.Sum64())
+	copy(out[sumLen:], payload)
+	return out
+}
+
+// Payload verifies a received message's integrity digest and returns
+// the encoded payload, or an ErrIntegrity-wrapped error when the body
+// was corrupted or truncated in flight.
+func Payload(m Message) ([]byte, error) {
+	if len(m.Body) < sumLen {
+		return nil, fmt.Errorf("message %q: %d-byte body: %w", m.Type, len(m.Body), ErrIntegrity)
+	}
+	h := fnv.New64a()
+	if _, err := h.Write(m.Body[sumLen:]); err != nil {
+		panic("transport: fnv write: " + err.Error())
+	}
+	if binary.BigEndian.Uint64(m.Body) != h.Sum64() {
+		return nil, fmt.Errorf("message %q: %w", m.Type, ErrIntegrity)
+	}
+	return m.Body[sumLen:], nil
+}
+
+// NewMessage builds a message with an encoded, integrity-sealed body.
 // seclint:wire gob-encodes the payload for a link
 func NewMessage(typ string, v any) (Message, error) {
 	b, err := Encode(v)
 	if err != nil {
 		return Message{}, err
 	}
-	return Message{Type: typ, Body: b}, nil
+	return Message{Type: typ, Body: seal(b)}, nil
 }
 
 // Conn is one endpoint of a duplex party-to-party link.

@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"errors"
 	"io"
 	"math/big"
 	"sync"
@@ -50,9 +51,36 @@ func TestPairSendRecv(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	body, err := Payload(got)
+	if err != nil {
+		t.Fatal(err)
+	}
 	var p payload
-	if err := Decode(got.Body, &p); err != nil || p.Name != "hello" {
+	if err := Decode(body, &p); err != nil || p.Name != "hello" {
 		t.Errorf("recv payload: %+v, %v", p, err)
+	}
+}
+
+func TestPayloadIntegrity(t *testing.T) {
+	msg, err := NewMessage("greet", payload{Name: "hello"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A flipped payload byte — even one that keeps the gob decodable —
+	// must surface as a typed integrity failure, not a wrong decode.
+	flipped := msg
+	flipped.Body = append([]byte(nil), msg.Body...)
+	flipped.Body[len(flipped.Body)-1] ^= 0x01
+	if _, err := Payload(flipped); !errors.Is(err, ErrIntegrity) {
+		t.Errorf("corrupted body: %v, want ErrIntegrity", err)
+	}
+	truncated := msg
+	truncated.Body = msg.Body[:len(msg.Body)/2]
+	if _, err := Payload(truncated); !errors.Is(err, ErrIntegrity) {
+		t.Errorf("truncated body: %v, want ErrIntegrity", err)
+	}
+	if _, err := Payload(Message{Type: "empty"}); !errors.Is(err, ErrIntegrity) {
+		t.Errorf("empty body: %v, want ErrIntegrity", err)
 	}
 }
 
