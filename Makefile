@@ -1,12 +1,12 @@
 GO ?= go
 
-.PHONY: all ci vet lint lint-json lint-sarif build test test-short race chaos soak soak-short bench bench-smoke parallel-report telemetry-report large-report sessions-report
+.PHONY: all ci vet lint lint-json lint-sarif lint-golden build test test-short race chaos soak soak-short bench bench-smoke parallel-report telemetry-report large-report sessions-report
 
 all: vet lint build test race
 
 # The aggregate pre-merge gate: everything `all` runs, ordered so the
 # cheap fast-failing steps (build, vet, lint — including the
-# whole-program plaintaint/keyscope taint analysis) come before the
+# whole-program plaintaint/keyscope/cttaint/conccheck analysis) come before the
 # test suites, plus a -short -race pass over the full module, the
 # tiny-row medbench sweep that guards the BENCH JSON schema, and the
 # compressed chaos soak that gates the query-lifecycle recovery
@@ -18,9 +18,10 @@ vet:
 
 # Crypto-invariant static analysis (cmd/seclint): the package-mode
 # analyzers (weakrand, subtlecmp, secretfmt, errdrop, rawexp, rawrecv)
-# over every module package, then the whole-program taint analyzers
-# (plaintaint, keyscope) over the combined call graph, gated on the
-# audited exceptions in seclint.allow. Non-zero exit on any finding.
+# over every module package, then the whole-program analyzers
+# (plaintaint, keyscope, cttaint, conccheck) over the combined call
+# graph, gated on the audited exceptions in seclint.allow. Non-zero
+# exit on any finding.
 lint:
 	$(GO) run ./cmd/seclint
 
@@ -31,6 +32,13 @@ lint-json:
 # SARIF 2.1.0 log for code-scanning dashboards; same gate.
 lint-sarif:
 	$(GO) run ./cmd/seclint -sarif
+
+# Fails if any analyzer's rendered messages drift from the pinned
+# goldens under internal/seclint/testdata/golden/ — wording changes
+# must be deliberate (regenerate with `go test ./internal/seclint/
+# -run TestGoldenMessages -update` and review the diff).
+lint-golden:
+	$(GO) test -count=1 -run TestGoldenMessages ./internal/seclint
 
 build:
 	$(GO) build ./...
@@ -43,12 +51,13 @@ test:
 test-short:
 	$(GO) test -short -race ./...
 
-# The concurrency safety gate: the mediation protocols, the session mux
-# (including the >=32-interleaved-sessions stress test), the worker pool,
-# the telemetry registry, the transport layer and the leak-check helpers
-# under the race detector.
+# The concurrency safety gate: the full module under the race detector
+# — the mediation protocols, the session mux (including the
+# >=32-interleaved-sessions stress test), the worker pool, the
+# resilience orchestration and every other package; nothing
+# concurrency-relevant can sit outside the sweep.
 race:
-	$(GO) test -race ./internal/mediation/... ./internal/session/... ./internal/parallel/... ./internal/telemetry/... ./internal/transport/... ./internal/testutil/...
+	$(GO) test -race ./...
 
 # The resilience gate (docs/RESILIENCE.md): every protocol under every
 # fault class on the fixed seed — including per-session faults on a

@@ -2,10 +2,13 @@ package main
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 	"runtime"
 	"time"
 
 	"github.com/secmediation/secmediation/internal/mediation"
+	"github.com/secmediation/secmediation/internal/seclint"
 	"github.com/secmediation/secmediation/internal/telemetry"
 )
 
@@ -34,7 +37,12 @@ type phasesReport struct {
 	GOARCH     string           `json:"goarch"`
 	Rows       int              `json:"rows_per_relation"`
 	Domain     int              `json:"active_domain"`
-	Protocols  []protocolPhases `json:"protocols"`
+	// LintNs is the wall time of one full in-process seclint run (all
+	// package-mode and whole-program analyzers over every module
+	// package, allowlist-gated) — what the `make lint` build gate costs
+	// next to the protocol phases it guards.
+	LintNs    int64            `json:"lint_ns"`
+	Protocols []protocolPhases `json:"protocols"`
 }
 
 // phaseParties and phaseOrder fix the table layout; phases a run emits
@@ -80,11 +88,84 @@ func (h *harness) tablePhases(jsonPath string) error {
 		}
 		report.Protocols = append(report.Protocols, pp)
 	}
+	// The lint row needs the module source tree; a built binary run
+	// outside a checkout (no go.mod above the working directory) skips
+	// it rather than losing the protocol phases, leaving lint_ns = 0.
+	if _, rootErr := findModuleRoot(); rootErr == nil {
+		lintNs, err := lintWallNs()
+		if err != nil {
+			return fmt.Errorf("timing seclint run: %w", err)
+		}
+		report.LintNs = lintNs
+	}
 	if jsonPath != "-" {
 		fmt.Println("Per-phase × per-party cost breakdown (measured)")
 		printPhases(report)
+		if report.LintNs > 0 {
+			fmt.Printf("seclint full-module run (the make lint gate): %s\n\n",
+				time.Duration(report.LintNs).Round(time.Millisecond))
+		} else {
+			fmt.Println("seclint full-module run: skipped (no module checkout above the working directory)")
+			fmt.Println()
+		}
 	}
 	return writeReport(jsonPath, report)
+}
+
+// lintWallNs times one full in-process seclint run: loader
+// construction, whole-module type-check, every package-mode and
+// whole-program analyzer, allowlist filtering. Findings do not fail
+// the benchmark — `make lint` is the gate; this row only prices it.
+func lintWallNs() (int64, error) {
+	root, err := findModuleRoot()
+	if err != nil {
+		return 0, err
+	}
+	start := time.Now()
+	loader, err := seclint.NewLoader(root)
+	if err != nil {
+		return 0, err
+	}
+	var allow *seclint.Allowlist
+	if def := filepath.Join(root, "seclint.allow"); fileExists(def) {
+		if allow, err = seclint.ParseAllowlist(def); err != nil {
+			return 0, err
+		}
+	}
+	dirs, err := seclint.WalkPackageDirs(root)
+	if err != nil {
+		return 0, err
+	}
+	runner := &seclint.Runner{Loader: loader, Analyzers: seclint.All, Allow: allow}
+	if _, err := runner.RunDirs(dirs); err != nil {
+		return 0, err
+	}
+	return time.Since(start).Nanoseconds(), nil
+}
+
+// findModuleRoot walks up from the working directory to the go.mod
+// root, so the lint row works both from the repo root and from the
+// package directory (how TestBenchSmoke runs).
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if fileExists(filepath.Join(dir, "go.mod")) {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+func fileExists(path string) bool {
+	_, err := os.Stat(path)
+	return err == nil
 }
 
 // phasesSeen returns the taxonomy phases plus any extra span names the

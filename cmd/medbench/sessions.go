@@ -270,9 +270,11 @@ func (h *harness) forEachSession(n int, fn func() error) error {
 		}()
 	}
 	wg.Wait()
-	close(errs)
-	for err := range errs {
-		if err != nil {
+	// Drain by count rather than close+range: every worker has sent
+	// exactly one result by now, and leaving the channel open keeps the
+	// send/close race impossible by construction (conccheck-clean).
+	for i := 0; i < n; i++ {
+		if err := <-errs; err != nil {
 			return err
 		}
 	}

@@ -95,6 +95,9 @@ func TestBenchSmoke(t *testing.T) {
 	if len(ph.Protocols) == 0 {
 		t.Error("phases report has no protocols")
 	}
+	if ph.LintNs <= 0 {
+		t.Errorf("phases report lint_ns = %d, want > 0 (full seclint run wall time)", ph.LintNs)
+	}
 	// The join protocols take the unchecked encrypt paths by design
 	// (oracle-hashed inputs, own ciphertexts), so commutative.qrtest
 	// stays 0 here — but commutative.exp must track the 2(n+m) ladder

@@ -214,7 +214,13 @@ func (h *harness) startSoakWorld(slots, waiting int, hint time.Duration, hold <-
 		s1mu.Lock()
 		s1srv, s1l, s1done = srv, l, done
 		s1mu.Unlock()
-		w.addr1 = l.Addr()
+		// Only the initial start (before the mediator exists) learns the
+		// kernel-assigned port; restarts rebind the same fixed address, so
+		// never writing it again keeps the field readable without a lock
+		// from the mediator's route and breaker-label closures.
+		if w.addr1 == "" {
+			w.addr1 = l.Addr()
+		}
 		return nil
 	}
 	w.stopS1 = func() {

@@ -213,7 +213,7 @@ func TestRunList(t *testing.T) {
 	if code := run([]string{"-list"}, &out, &errb); code != 0 {
 		t.Fatalf("-list exit code = %d", code)
 	}
-	for _, name := range []string{"weakrand", "subtlecmp", "secretfmt", "errdrop", "rawexp", "rawrecv", "plaintaint", "keyscope", "cttaint"} {
+	for _, name := range []string{"weakrand", "subtlecmp", "secretfmt", "errdrop", "rawexp", "rawrecv", "plaintaint", "keyscope", "cttaint", "conccheck"} {
 		if !strings.Contains(out.String(), name) {
 			t.Errorf("-list output missing %s:\n%s", name, out.String())
 		}

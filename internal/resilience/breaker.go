@@ -122,6 +122,10 @@ func (b *Breaker) State() State {
 // Half-open: yes while probes remain in the budget, fast-fail beyond.
 // Every successful Allow must be paired with one Record.
 func (b *Breaker) Allow() error {
+	// Read the (injectable) clock before taking the lock: cfg.Now is a
+	// func value, and holding b.mu across it would put an arbitrary
+	// callback inside the critical section.
+	now := b.cfg.Now()
 	b.mu.Lock()
 	var transition func()
 	defer func() {
@@ -134,7 +138,7 @@ func (b *Breaker) Allow() error {
 	case StateClosed:
 		return nil
 	case StateOpen:
-		if b.cfg.Now().Sub(b.openedAt) < b.cfg.OpenTimeout {
+		if now.Sub(b.openedAt) < b.cfg.OpenTimeout {
 			b.countLocked("breaker_fastfails")
 			return fmt.Errorf("resilience: peer %s: %w", b.peer, ErrCircuitOpen)
 		}

@@ -43,10 +43,26 @@ import (
 //	                           whitespace-separated word of <what> names
 //	                           a parameter, those parameters are secret;
 //	                           otherwise the function's results are.
+//	seclint:guards <why>       on a func: it deliberately holds a lock
+//	                           across a blocking operation — an audited
+//	                           serialization point (e.g. one frame at a
+//	                           time onto a shared link). conccheck
+//	                           suppresses its lock-across-blocking rule
+//	                           inside and requires the justification.
+//	seclint:detached <why>     on a func: its goroutine intentionally
+//	                           outlives supervision (a process-lifetime
+//	                           pump). conccheck accepts spawning it, and
+//	                           any spawn made inside it, without a
+//	                           termination proof.
+//	seclint:blocking <why>     on a func: calling it may block on a
+//	                           waiting primitive the analysis cannot see
+//	                           (e.g. behind an interface or cgo-shaped
+//	                           boundary); conccheck adds it to the
+//	                           blocking table.
 //
 // Unknown kinds and kinds on the wrong declaration form are themselves
-// reported (by plaintaint and cttaint), so the convention cannot drift
-// silently.
+// reported (by plaintaint, cttaint and conccheck), so the convention
+// cannot drift silently.
 const (
 	annSource    = "source"
 	annSanitizer = "sanitizer"
@@ -55,6 +71,9 @@ const (
 	annBoundary  = "boundary"
 	annWire      = "wire"
 	annSecret    = "secret"
+	annGuards    = "guards"
+	annDetached  = "detached"
+	annBlocking  = "blocking"
 )
 
 // annotation is one parsed seclint:<kind> doc-comment line.

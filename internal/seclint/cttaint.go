@@ -59,6 +59,12 @@ import (
 //   - A call through a local variable bound to a function literal uses
 //     the literal's own parameter/result summary; only genuinely
 //     unresolvable indirect calls fall back to argument pass-through.
+//   - Pass-through helpers are call-site sensitive: a summary result
+//     that derives from the callee's own parameter is re-derived from
+//     the actual argument at each call site, so a converter fed secret
+//     exponents by one caller and public moduli by another taints only
+//     the former's results. Closures and variadic fan-in keep the
+//     context-insensitive behaviour.
 //
 // What survives on the real tree is the honest residue: the
 // sliding-window schedule machinery in internal/crypto/modexp whose
@@ -103,6 +109,25 @@ var bigVarTime = map[string]varTimeSig{
 type ctCause struct {
 	desc string
 	prev *ctCause
+	// paramOf/paramIdx mark the hop where taint entered a declared
+	// function through its own parameter (receiver-first index),
+	// seeded only by seedParams from call-site-accumulated taint.
+	// deriveResult keys on these markers to re-derive a pass-through
+	// result from the actual argument at each call site.
+	paramOf  *types.Func
+	paramIdx int
+}
+
+// paramMarker returns the hop (nearest the sink) where chain c entered
+// fn through one of fn's own parameters, or nil if c does not depend on
+// them. fn must be non-nil.
+func paramMarker(c *ctCause, fn *types.Func) *ctCause {
+	for ; c != nil; c = c.prev {
+		if c.paramOf == fn {
+			return c
+		}
+	}
+	return nil
 }
 
 // root returns the chain's origin — the annotated source description.
@@ -135,6 +160,9 @@ func (c *ctCause) path() string {
 // function: which parameter positions have received taint from any
 // call site (receiver first), and which result positions return taint.
 type ctSummary struct {
+	// owner is the declared function this summary describes; nil for
+	// function literals (closures keep context-insensitive summaries).
+	owner  *types.Func
 	pTaint []*ctCause
 	rTaint []*ctCause
 }
@@ -386,7 +414,7 @@ func (s *ctState) summaryFor(obj *types.Func) *ctSummary {
 		return sum
 	}
 	sig, _ := obj.Type().(*types.Signature)
-	sum := &ctSummary{}
+	sum := &ctSummary{owner: obj}
 	if sig != nil {
 		n := sig.Params().Len()
 		if sig.Recv() != nil {
@@ -408,8 +436,17 @@ func (s *ctState) setParamTaint(sum *ctSummary, i int, c *ctCause) {
 }
 
 func (s *ctState) setResultTaint(sum *ctSummary, i int, c *ctCause) {
-	if c == nil || i < 0 || i >= len(sum.rTaint) || sum.rTaint[i] != nil {
+	if c == nil || i < 0 || i >= len(sum.rTaint) {
 		return
+	}
+	if old := sum.rTaint[i]; old != nil {
+		// One-way upgrade: a result tainted unconditionally (from a
+		// global or an annotated source) must not stay masked by an
+		// earlier param-conditional cause, or call sites passing public
+		// arguments would wrongly re-derive the result to clean.
+		if sum.owner == nil || paramMarker(old, sum.owner) == nil || paramMarker(c, sum.owner) != nil {
+			return
+		}
 	}
 	sum.rTaint[i] = c
 	s.changed = true
@@ -480,7 +517,7 @@ func (s *ctState) seedParams(sig *types.Signature, sum *ctSummary, fn *Fn, obj *
 			}
 		}
 		if i < len(sum.pTaint) && sum.pTaint[i] != nil {
-			s.setTaint(v, &ctCause{desc: fmt.Sprintf("param %s of %s", v.Name(), name), prev: sum.pTaint[i]})
+			s.setTaint(v, &ctCause{desc: fmt.Sprintf("param %s of %s", v.Name(), name), prev: sum.pTaint[i], paramOf: obj, paramIdx: i})
 		}
 	}
 }
@@ -955,7 +992,7 @@ func (w *ctWalker) multiTaint(rhs ast.Expr, n int) []*ctCause {
 		out[0] = w.exprTaint(rhs)
 		return out
 	}
-	obj, _ := w.callee(call)
+	obj, recv := w.callee(call)
 	if obj != nil {
 		origin := obj.Origin()
 		if fnNode, ok := w.s.p.fns[origin]; ok {
@@ -974,8 +1011,11 @@ func (w *ctWalker) multiTaint(rhs ast.Expr, n int) []*ctCause {
 			}
 			sum := w.s.summaryFor(origin)
 			for i := 0; i < n && i < len(sum.rTaint); i++ {
-				if sum.rTaint[i] != nil {
-					out[i] = &ctCause{desc: "result of " + fnNode.Name, prev: sum.rTaint[i]}
+				if sum.rTaint[i] == nil {
+					continue
+				}
+				if rc := w.deriveResult(call, recv, origin, sum.rTaint[i]); rc != nil {
+					out[i] = &ctCause{desc: "result of " + fnNode.Name, prev: rc}
 				}
 			}
 			return out
@@ -1108,6 +1148,64 @@ func (w *ctWalker) isNil(e ast.Expr) bool {
 	return ok && tv.IsNil()
 }
 
+// deriveResult contextualizes one summary result cause at a call site.
+// A chain that enters the callee through its own parameter (a marker
+// seeded by seedParams) describes a pass-through: the result is secret
+// only when THIS call's actual argument is, so the cause is re-derived
+// from the actual. That keeps one secret caller (the CT ladder handing
+// wordsOf an exponent) from smearing taint onto every public caller
+// (the kernels handing it a modulus). Closures keep context-insensitive
+// summaries, and positions that do not map 1:1 onto an actual (method
+// expressions, variadic fan-in) stay conservative.
+func (w *ctWalker) deriveResult(n *ast.CallExpr, recv ast.Expr, origin *types.Func, c *ctCause) *ctCause {
+	marker := paramMarker(c, origin)
+	if marker == nil {
+		return c
+	}
+	arg := w.argAt(n, recv, origin, marker.paramIdx)
+	if arg == nil {
+		return c
+	}
+	ac := w.exprTaint(arg)
+	if ac == nil {
+		return nil
+	}
+	// Re-root the intra-callee prefix of the chain on the actual
+	// argument's cause; the marker is spent (resolved at this site), so
+	// the rebuilt hop drops it.
+	var prefix []*ctCause
+	for m := c; m != marker; m = m.prev {
+		prefix = append(prefix, m)
+	}
+	out := &ctCause{desc: marker.desc, prev: ac}
+	for i := len(prefix) - 1; i >= 0; i-- {
+		out = &ctCause{desc: prefix[i].desc, prev: out}
+	}
+	return out
+}
+
+// argAt maps a receiver-first parameter index to the call's actual
+// expression, or nil when the mapping is not 1:1.
+func (w *ctWalker) argAt(n *ast.CallExpr, recv ast.Expr, origin *types.Func, idx int) ast.Expr {
+	sig, _ := origin.Type().(*types.Signature)
+	if sig == nil {
+		return nil
+	}
+	if sig.Recv() != nil {
+		if idx == 0 {
+			return recv
+		}
+		idx--
+	}
+	if idx < 0 || idx >= len(n.Args) {
+		return nil
+	}
+	if sig.Variadic() && idx >= sig.Params().Len()-1 && len(n.Args) != sig.Params().Len() {
+		return nil
+	}
+	return n.Args[idx]
+}
+
 // callTaint computes the merged (any-result) taint of a call in
 // single-value position.
 func (w *ctWalker) callTaint(n *ast.CallExpr) *ctCause {
@@ -1149,8 +1247,11 @@ func (w *ctWalker) callTaint(n *ast.CallExpr) *ctCause {
 			}
 			sum := w.s.summaryFor(origin)
 			for _, c := range sum.rTaint {
-				if c != nil {
-					return &ctCause{desc: "result of " + fnNode.Name, prev: c}
+				if c == nil {
+					continue
+				}
+				if rc := w.deriveResult(n, recv, origin, c); rc != nil {
+					return &ctCause{desc: "result of " + fnNode.Name, prev: rc}
 				}
 			}
 			return nil

@@ -36,6 +36,8 @@ var goldenCases = []struct {
 	{name: "plaintaint", fixture: "testdata/src/plaintaint", program: true, run: []*Analyzer{Plaintaint}},
 	{name: "keyscope", fixture: "testdata/src/keyscope", program: true, run: []*Analyzer{Keyscope}},
 	{name: "cttaint", fixture: "testdata/src/cttaint", program: true, run: []*Analyzer{Cttaint}},
+	{name: "conccheck", fixture: "testdata/src/conccheck", program: true, run: []*Analyzer{Conccheck}},
+	{name: "conccheck_perimeter", fixture: "testdata/src/conccheck_perimeter", relDir: "internal/session", program: true, run: []*Analyzer{Conccheck}},
 }
 
 // TestGoldenMessages pins every analyzer's full rendered output on its

@@ -80,6 +80,22 @@ type Fn struct {
 	SecretResults bool
 	SecretWhy     string
 	SecretParams  []string
+	// Guards marks a function audited to hold a lock across a blocking
+	// operation deliberately (an intended serialization point); conccheck
+	// suppresses its lock-across-blocking rule inside. GuardsWhy carries
+	// the justification (empty means the annotation is malformed).
+	Guards    bool
+	GuardsWhy string
+	// Detached marks a function whose goroutine intentionally outlives
+	// supervision (a process-lifetime pump); conccheck accepts spawning
+	// it, or any spawn made inside it, without a termination proof.
+	Detached    bool
+	DetachedWhy string
+	// Blocking declares that calling this function may block (a waiting
+	// primitive the analysis cannot see through, e.g. behind an
+	// interface); conccheck adds it to the blocking table.
+	Blocking    bool
+	BlockingWhy string
 
 	Edges []Edge
 }
@@ -172,6 +188,9 @@ type Program struct {
 	reachDone   bool
 	reach       []*Fn
 	reachParent map[*Fn]traceEdge
+
+	reachAllDone   bool
+	reachAllParent map[*Fn]traceEdge
 }
 
 // BuildProgram assembles the call graph from every loaded package. The
@@ -262,6 +281,17 @@ func (p *Program) declareFunc(pkg *Package, d *ast.FuncDecl) {
 				fn.SecretResults = true
 				fn.SecretWhy = textOr(ann.Text, "declared secret result")
 			}
+		case annGuards:
+			// Justification checked by conccheck, which owns the rule the
+			// annotation suppresses.
+			fn.Guards = true
+			fn.GuardsWhy = ann.Text
+		case annDetached:
+			fn.Detached = true
+			fn.DetachedWhy = ann.Text
+		case annBlocking:
+			fn.Blocking = true
+			fn.BlockingWhy = textOr(ann.Text, "declared blocking")
 		case annPrivate, annBoundary:
 			p.bad(pkg, fn.Pos, fmt.Sprintf("seclint:%s belongs on a type declaration, not a function", ann.Kind))
 		default:
@@ -431,6 +461,14 @@ func (w *walker) call(call *ast.CallExpr, kind string) {
 	case *ast.SelectorExpr:
 		w.scan(f.X)
 		w.callee(call, f.Sel, kind)
+	case *ast.FuncLit:
+		// A directly-invoked literal — most importantly `go func(){…}()`.
+		// The edge keeps the invocation kind so conccheck sees the spawn;
+		// falling through to the generic scan would file it under
+		// "closure" and lose that the literal starts a goroutine.
+		child := w.p.newLit(f, w.cur, w.pkg)
+		w.p.edge(w.cur, child, f.Pos(), kind)
+		(&walker{p: w.p, pkg: w.pkg, cur: child}).scan(f.Body)
 	default:
 		// Computed callee: a func-typed expression (index, call
 		// result, generic instantiation, …). Scan it for function
@@ -590,6 +628,64 @@ func (p *Program) Trace(fn *Fn) string {
 		names[i], names[j] = names[j], names[i]
 	}
 	return strings.Join(names, " -> ")
+}
+
+// ensureReachAll runs the reachability BFS seeded from *every* declared
+// entry point regardless of role — the traversal conccheck renders its
+// spawn-site→entry paths from. It is kept separate from ensureReach so
+// the mediator-only analyses (plaintaint, keyscope) are unaffected, and
+// unlike them it descends through sources and sanitizers: a goroutine
+// leak inside an encrypt boundary is still a leak.
+func (p *Program) ensureReachAll() {
+	if p.reachAllDone {
+		return
+	}
+	p.reachAllDone = true
+	p.reachAllParent = make(map[*Fn]traceEdge)
+	seen := make(map[*Fn]bool)
+	var queue []*Fn
+	for _, fn := range p.All {
+		if fn.EntryRole != "" {
+			seen[fn] = true
+			queue = append(queue, fn)
+		}
+	}
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		for _, e := range fn.Edges {
+			c := e.Callee
+			if seen[c] {
+				continue
+			}
+			seen[c] = true
+			p.reachAllParent[c] = traceEdge{from: fn, pos: e.Pos}
+			queue = append(queue, c)
+		}
+	}
+}
+
+// EntryTrace renders the entry→fn call path of the all-roles
+// reachability, and whether fn is reachable from any entry point at all.
+func (p *Program) EntryTrace(fn *Fn) (string, bool) {
+	p.ensureReachAll()
+	if _, ok := p.reachAllParent[fn]; !ok && fn.EntryRole == "" {
+		return "", false
+	}
+	names := []string{fn.Name}
+	for seen := map[*Fn]bool{fn: true}; ; {
+		te, ok := p.reachAllParent[fn]
+		if !ok || seen[te.from] {
+			break
+		}
+		fn = te.from
+		seen[fn] = true
+		names = append(names, fn.Name)
+	}
+	for i, j := 0, len(names)-1; i < j; i, j = i+1, j-1 {
+		names[i], names[j] = names[j], names[i]
+	}
+	return strings.Join(names, " -> "), true
 }
 
 // containsPrivate reports whether a value of type t can hold

@@ -86,14 +86,23 @@ func TestProgramAnalyzersOnFixtures(t *testing.T) {
 		name     string
 		analyzer *Analyzer
 		fixture  string
+		// relDir re-homes the fixture, as in the package-mode test; it
+		// must be set before RunProgram so directory-scoped rules (the
+		// conccheck bounded-queue perimeter) see the re-homed path.
+		relDir string
 	}{
-		{"plaintaint", Plaintaint, "testdata/src/plaintaint"},
-		{"keyscope", Keyscope, "testdata/src/keyscope"},
-		{"cttaint", Cttaint, "testdata/src/cttaint"},
+		{"plaintaint", Plaintaint, "testdata/src/plaintaint", ""},
+		{"keyscope", Keyscope, "testdata/src/keyscope", ""},
+		{"cttaint", Cttaint, "testdata/src/cttaint", ""},
+		{"conccheck", Conccheck, "testdata/src/conccheck", ""},
+		{"conccheck_perimeter", Conccheck, "testdata/src/conccheck_perimeter", "internal/session"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			loader, pkg := loadFixture(t, tc.fixture)
+			if tc.relDir != "" {
+				pkg.RelDir = tc.relDir
+			}
 			runner := &Runner{Loader: loader, Analyzers: []*Analyzer{tc.analyzer}}
 			findings := runner.RunProgram()
 			wants, err := ParseWants(loader.Fset, pkg.Files)

@@ -1,0 +1,12 @@
+// Package perimeter exercises the bounded-queue rule: the tests re-home
+// this package to internal/session, where every data channel must carry
+// an explicit capacity and only struct{} signal channels may be
+// unbuffered.
+package perimeter
+
+func queues() (chan int, chan struct{}, chan int) {
+	data := make(chan int) // want "make.chan int. without a capacity inside the bounded-queue perimeter .internal/session.; declare an explicit bound, or use chan struct.. for pure signals"
+	sig := make(chan struct{})
+	bounded := make(chan int, 8)
+	return data, sig, bounded
+}

@@ -167,6 +167,30 @@ func caller(k *Key) int {
 	return steer(int(k.E.Int64()))
 }
 
+// normalize is a pass-through converter with both secret and public
+// callers — the wordsOf shape. Call-site-sensitive result derivation
+// must taint only the secret caller's copy; without it, one secret
+// call site smears the summary over every public caller.
+func normalize(x *big.Int) *big.Int {
+	return new(big.Int).Set(x)
+}
+
+func normalizeSecret(k *Key) int {
+	w := normalize(k.E)
+	if w.Sign() > 0 { // want "secret-dependent branch: condition derives from secret field cttaint.Key.E"
+		return 1
+	}
+	return 0
+}
+
+func normalizePublic(m *big.Int) int {
+	w := normalize(m) // public actual: the result must stay clean here
+	if w.Sign() > 0 {
+		return 1
+	}
+	return 0
+}
+
 // Pub carries a misplaced annotation kind on a field.
 type Pub struct {
 	// seclint:private not a field annotation

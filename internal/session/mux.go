@@ -139,6 +139,8 @@ func (m *Mux) Stats() *transport.Stats { return m.inner.Stats() }
 // send serializes one frame onto the shared link. A send failure is a
 // link failure: it kills the mux so every session aborts promptly
 // instead of timing out one by one.
+//
+// seclint:guards sendMu exists to hold across inner.Send — it is the per-link serialization point putting exactly one frame at a time on the shared conn
 func (m *Mux) send(frame transport.Message) error {
 	m.sendMu.Lock()
 	err := m.inner.Send(frame)

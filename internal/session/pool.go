@@ -110,6 +110,8 @@ func (p *Pool) entry(addr string) *poolLink {
 // every concurrent Open for the same address shares one physical dial.
 // Dial outcomes are reported to the Governor; a failure leaves the
 // entry undialed for the next Open.
+//
+// seclint:guards the entry mutex deliberately covers the blocking dial so concurrent Opens for one address share a single physical dial instead of racing
 func (p *Pool) ensure(entry *poolLink, addr string, redial bool) (*Mux, error) {
 	entry.mu.Lock()
 	defer entry.mu.Unlock()

@@ -163,6 +163,7 @@ func TestPoolRedialsDeadLink(t *testing.T) {
 // cadence) but must not poison the address entry — the next Open dials
 // fresh and succeeds.
 func TestPoolDialFailure(t *testing.T) {
+	snap := testutil.Snapshot()
 	net := newFakeNet()
 	net.fail = true
 	p := &Pool{Dial: net.dial}
@@ -171,6 +172,7 @@ func TestPoolDialFailure(t *testing.T) {
 			t.Logf("pool close: %v", err)
 		}
 		net.close()
+		testutil.CheckGoroutines(t, snap)
 	}()
 
 	if err := roundTrip(p, "src1:7000"); err == nil {
@@ -197,6 +199,7 @@ func (g governorFunc) Record(addr string, err error) { g.record(addr, err) }
 // TestPoolGovernor checks the breaker seam: Allow gates the dial (a
 // refusal surfaces typed and undialed), Record sees every outcome.
 func TestPoolGovernor(t *testing.T) {
+	snap := testutil.Snapshot()
 	net := newFakeNet()
 	refuse := errors.New("circuit open")
 	var mu sync.Mutex
@@ -223,6 +226,7 @@ func TestPoolGovernor(t *testing.T) {
 			t.Logf("pool close: %v", err)
 		}
 		net.close()
+		testutil.CheckGoroutines(t, snap)
 	}()
 
 	mu.Lock()
@@ -247,9 +251,13 @@ func TestPoolGovernor(t *testing.T) {
 // TestPoolClose checks sessions fail with ErrMuxClosed once the pool is
 // torn down.
 func TestPoolClose(t *testing.T) {
+	snap := testutil.Snapshot()
 	net := newFakeNet()
 	p := &Pool{Dial: net.dial}
-	defer net.close()
+	defer func() {
+		net.close()
+		testutil.CheckGoroutines(t, snap)
+	}()
 	st, err := p.Open("src1:7000")
 	if err != nil {
 		t.Fatalf("open: %v", err)
